@@ -1,0 +1,243 @@
+// Command conzone-bench regenerates the tables and figures of the ConZone
+// paper's evaluation (§IV) and prints them next to the paper's claims.
+//
+// Usage:
+//
+//	conzone-bench [-exp all|table1|table2|fig6a|fig6b|fig7|fig8|ablations] [-quick] [-config file.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/experiments"
+	"github.com/conzone/conzone/internal/units"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig6a, fig6b, fig7, fig8, ablations")
+	quick := flag.Bool("quick", false, "reduced I/O volumes for a fast run")
+	cfgPath := flag.String("config", "", "device configuration JSON (default: the paper's §IV-A setup)")
+	flag.Parse()
+
+	cfg := config.Paper()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+
+	runners := map[string]func(config.DeviceConfig, experiments.Options) error{
+		"table1":    func(config.DeviceConfig, experiments.Options) error { return runTable1() },
+		"table2":    func(c config.DeviceConfig, _ experiments.Options) error { return runTable2(c) },
+		"fig6a":     runFig6a,
+		"fig6b":     runFig6b,
+		"fig7":      runFig7,
+		"fig8":      runFig8,
+		"ablations": runAblations,
+		"emulators": runEmulators,
+	}
+	order := []string{"table1", "table2", "fig6a", "fig6b", "fig7", "fig8", "ablations", "emulators"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runners[name](cfg, opt); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(cfg, opt); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conzone-bench:", err)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func runTable1() error {
+	header("Table I: emulator capabilities")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Feature\tFEMU\tConfZNS\tNVMeVirt\tConZone\tthis repo")
+	for _, r := range experiments.RunTable1() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Feature, r.FEMU, r.ConfZNS, r.NVMeVirt, r.ConZone, r.ThisRepo)
+	}
+	return w.Flush()
+}
+
+func runTable2(cfg config.DeviceConfig) error {
+	header("Table II: media latencies")
+	rows, err := experiments.RunTable2(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Media\tOp\tpaper\tmeasured\tof which transfer")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%v\n", r.Media, r.Op, r.Paper, r.Measured, r.TransferOverhead)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := experiments.VerifyTable2(rows); err != nil {
+		return err
+	}
+	fmt.Println("timing model matches Table II exactly (plus stated transfers)")
+	return nil
+}
+
+func runFig6a(cfg config.DeviceConfig, opt experiments.Options) error {
+	header("Fig. 6(a): 512 KiB sequential bandwidth (MiB/s)")
+	res, err := experiments.RunFig6a(cfg, opt)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Series\twrite ST\twrite MT\tread ST\tread MT")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\n", r.Series, r.WriteST, r.WriteMT, r.ReadST, r.ReadMT)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printChecks(res.Checks, res.Pass)
+	return nil
+}
+
+func runFig6b(cfg config.DeviceConfig, opt experiments.Options) error {
+	header("Fig. 6(b): write-buffer conflicts (48 KiB dual-zone writes)")
+	res, err := experiments.RunFig6b(cfg, opt)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Case\tbandwidth MiB/s\tWAF\tbuffer evictions")
+	fmt.Fprintf(w, "conflict (same parity)\t%.0f\t%.3f\t%d\n", res.ConflictBW, res.ConflictWAF, res.ConflictEvictions)
+	fmt.Fprintf(w, "no conflict\t%.0f\t%.3f\t%d\n", res.NoConflictBW, res.NoConflictWAF, res.NoConflictEvictions)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printChecks(res.Checks, res.Pass)
+	return nil
+}
+
+func runFig7(cfg config.DeviceConfig, opt experiments.Options) error {
+	header("Fig. 7: mapping mechanisms under 4 KiB random reads")
+	res, err := experiments.RunFig7(cfg, opt)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mapping\trange\tKIOPS\tp99\tL2P miss")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%v\t%.1f%%\n",
+			p.Mapping, units.FormatBytes(p.Range), p.KIOPS, p.P99, p.MissRatio*100)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printChecks(res.Checks, res.Pass)
+	return nil
+}
+
+func runFig8(cfg config.DeviceConfig, opt experiments.Options) error {
+	header("Fig. 8: L2P search strategies at ~27.4% miss rate")
+	res, err := experiments.RunFig8(cfg, opt)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Strategy\tKIOPS\tp99\tmiss rate")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%s\t%.1f\t%v\t%.1f%%\n", p.Strategy, p.KIOPS, p.P99, p.MissRatio*100)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printChecks(res.Checks, res.Pass)
+	return nil
+}
+
+func runAblations(cfg config.DeviceConfig, opt experiments.Options) error {
+	header("Ablations (DESIGN.md §5)")
+	type runner func(config.DeviceConfig, experiments.Options) (experiments.AblationResult, error)
+	for _, r := range []runner{
+		experiments.RunAblationChannelBW,
+		experiments.RunAblationDedicatedBuffers,
+		experiments.RunAblationCombine,
+		experiments.RunAblationZoneAggregation,
+		experiments.RunAblationL2PLog,
+	} {
+		res, err := r(cfg, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s: %s -> %s\n", res.Name, res.Baseline, res.Variant)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "metric\tbaseline\tvariant")
+		for k, v := range res.Metrics {
+			fmt.Fprintf(w, "%s\t%.3f\t%.3f\n", k, v[0], v[1])
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runEmulators(cfg config.DeviceConfig, opt experiments.Options) error {
+	header("Table I, dynamically: the emulators on a consumer workload")
+	rows, err := experiments.RunEmulatorComparison(cfg, opt)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Emulator\tconflict write MiB/s\trandread KIOPS\tpremature flushes\tSLC path\tL2P cache")
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%s\t%s\t%s\n",
+			r.Emulator, r.WriteBW, r.RandReadKIOPS,
+			yn(r.ModelsPrematureFlush), yn(r.ModelsSLC), yn(r.ModelsL2PCache))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("only ConZone registers the consumer-specific internals (paper Table I)")
+	return nil
+}
+
+func printChecks(checks []string, pass bool) {
+	for _, c := range checks {
+		fmt.Println(" ", c)
+	}
+	if pass {
+		fmt.Println("  => paper claims reproduced")
+	} else {
+		fmt.Println("  => SOME CLAIMS NOT REPRODUCED")
+	}
+}

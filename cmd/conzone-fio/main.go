@@ -1,0 +1,144 @@
+// Command conzone-fio runs fio-style micro-benchmarks against one of the
+// emulated devices (ConZone, Legacy, or the FEMU personality) and prints a
+// summary with virtual-time bandwidth, IOPS and latency percentiles.
+//
+// Example:
+//
+//	conzone-fio -device conzone -rw randread -bs 4k -range 1g -size 64m -prefill
+//	conzone-fio -device legacy -rw write -bs 512k -numjobs 4 -size 256m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/units"
+	"github.com/conzone/conzone/internal/workload"
+)
+
+func main() {
+	device := flag.String("device", "conzone", "device model: conzone, legacy, femu, confzns")
+	rw := flag.String("rw", "read", "pattern: read, write, randread, randwrite")
+	bs := flag.String("bs", "4k", "block size")
+	numjobs := flag.Int("numjobs", 1, "virtual threads")
+	offset := flag.String("offset", "0", "region start")
+	rng := flag.String("range", "", "region size (default: whole device)")
+	size := flag.String("size", "64m", "I/O volume per thread")
+	prefill := flag.Bool("prefill", false, "sequentially fill the region before the job")
+	overhead := flag.Duration("overhead", 6*time.Microsecond, "host-side per-op cost")
+	seed := flag.Uint64("seed", 1, "random seed")
+	cfgPath := flag.String("config", "", "device configuration JSON")
+	quickCfg := flag.Bool("small", false, "use the scaled-down Small configuration")
+	flag.Parse()
+
+	cfg := config.Paper()
+	if *quickCfg {
+		cfg = config.Small()
+	}
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var dev workload.Device
+	var err error
+	switch *device {
+	case "conzone":
+		dev, err = cfg.NewConZone()
+	case "legacy":
+		dev, err = cfg.NewLegacy()
+	case "femu":
+		dev, err = cfg.NewFEMU()
+	case "confzns":
+		dev, err = cfg.NewConfZNS()
+	default:
+		err = fmt.Errorf("unknown device %q", *device)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	pattern, err := parsePattern(*rw)
+	if err != nil {
+		fatal(err)
+	}
+	bsB, err := units.ParseBytes(*bs)
+	if err != nil {
+		fatal(fmt.Errorf("bs: %w", err))
+	}
+	offB, err := units.ParseBytes(*offset)
+	if err != nil {
+		fatal(fmt.Errorf("offset: %w", err))
+	}
+	capBytes := dev.TotalSectors() * units.Sector
+	rngB := capBytes - offB
+	if *rng != "" {
+		rngB, err = units.ParseBytes(*rng)
+		if err != nil {
+			fatal(fmt.Errorf("range: %w", err))
+		}
+	}
+	sizeB, err := units.ParseBytes(*size)
+	if err != nil {
+		fatal(fmt.Errorf("size: %w", err))
+	}
+	sizeB = units.AlignUp(sizeB, bsB)
+
+	job := workload.Job{
+		Name:             fmt.Sprintf("%s-%s", *device, *rw),
+		Pattern:          pattern,
+		BlockBytes:       bsB,
+		NumJobs:          *numjobs,
+		OffsetBytes:      offB,
+		RangeBytes:       rngB,
+		TotalBytesPerJob: sizeB,
+		PerOpOverhead:    *overhead,
+		FlushAtEnd:       pattern.IsWrite(),
+		Seed:             *seed,
+	}
+
+	if *prefill {
+		fmt.Fprintf(os.Stderr, "prefilling [%s, +%s)...\n", units.FormatBytes(offB), units.FormatBytes(rngB))
+		done, err := workload.Prefill(dev, 0, offB, rngB, false)
+		if err != nil {
+			fatal(fmt.Errorf("prefill: %w", err))
+		}
+		job.StartAt = done
+	}
+
+	res, err := workload.Run(dev, job)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: bs=%s jobs=%d region=[%s,+%s) volume=%s/thread\n",
+		job.Name, units.FormatBytes(bsB), *numjobs, units.FormatBytes(offB),
+		units.FormatBytes(rngB), units.FormatBytes(sizeB))
+	fmt.Printf("  bw=%.1f MiB/s  iops=%.0f (%.1f KIOPS)  elapsed=%v (virtual)\n",
+		res.BandwidthMiBps, res.IOPS, res.KIOPS(), res.Elapsed.Round(time.Microsecond))
+	fmt.Printf("  lat: %v\n", res.Lat)
+}
+
+func parsePattern(s string) (workload.Pattern, error) {
+	switch s {
+	case "read":
+		return workload.SeqRead, nil
+	case "write":
+		return workload.SeqWrite, nil
+	case "randread":
+		return workload.RandRead, nil
+	case "randwrite":
+		return workload.RandWrite, nil
+	}
+	return 0, fmt.Errorf("unknown rw %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conzone-fio:", err)
+	os.Exit(1)
+}

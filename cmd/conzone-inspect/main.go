@@ -1,0 +1,106 @@
+// Command conzone-inspect prints the geometry, derived layout, and zone
+// report of a device configuration, and can write configuration templates.
+//
+// Usage:
+//
+//	conzone-inspect                      # describe the paper configuration
+//	conzone-inspect -config my.json      # describe a saved configuration
+//	conzone-inspect -write-config my.json -preset qlc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/units"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "device configuration JSON to describe")
+	writeCfg := flag.String("write-config", "", "write a configuration template to this path and exit")
+	preset := flag.String("preset", "paper", "template preset: paper, small, qlc")
+	zones := flag.Bool("zones", false, "print the full zone report")
+	flag.Parse()
+
+	cfg, err := pick(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	if *writeCfg != "" {
+		if err := cfg.Save(*writeCfg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s preset to %s\n", *preset, *writeCfg)
+		return
+	}
+	if *cfgPath != "" {
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	f, err := cfg.NewConZone()
+	if err != nil {
+		fatal(err)
+	}
+	g := cfg.Geometry
+	fmt.Println("Geometry:", g)
+	fmt.Println("FTL:     ", f.Describe())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "logical capacity\t%s\n", units.FormatBytes(f.TotalSectors()*units.Sector))
+	fmt.Fprintf(w, "zones\t%d x %s\n", f.NumZones(), units.FormatBytes(f.ZoneCapSectors()*units.Sector))
+	fmt.Fprintf(w, "superblock\t%s (%d program units)\n",
+		units.FormatBytes(g.SuperblockBytes()), g.PUsPerBlock()*g.Chips())
+	fmt.Fprintf(w, "superpage / write buffer\t%s x %d buffers\n",
+		units.FormatBytes(g.SuperpageBytes()), cfg.FTL.NumWriteBuffers)
+	fmt.Fprintf(w, "alignment tail per zone\t%s (in reserved SLC)\n",
+		units.FormatBytes((f.ZoneCapSectors()-g.SuperblockBytes()/units.Sector)*units.Sector))
+	fmt.Fprintf(w, "SLC staging\t%d superblocks, %s\n",
+		f.Staging().SuperblockCount(),
+		units.FormatBytes(f.Staging().TotalSectors()*units.Sector))
+	fmt.Fprintf(w, "L2P cache\t%s (%d entries of %dB), %s search\n",
+		units.FormatBytes(cfg.FTL.L2PCacheBytes), f.Cache().MaxEntries(),
+		cfg.FTL.L2PEntryBytes, cfg.FTL.Search)
+	fmt.Fprintf(w, "aggregation chunk\t%s\n", units.FormatBytes(cfg.FTL.ChunkSectors*units.Sector))
+	fmt.Fprintf(w, "latencies\tSLC %v/%v, TLC %v/%v, QLC %v/%v (prog/read)\n",
+		cfg.Latency.SLC.Program, cfg.Latency.SLC.Read,
+		cfg.Latency.TLC.Program, cfg.Latency.TLC.Read,
+		cfg.Latency.QLC.Program, cfg.Latency.QLC.Read)
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *zones {
+		fmt.Println("\nZone report:")
+		zw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(zw, "zone\tstart LBA\tcap (sectors)\tWP\tstate")
+		for _, z := range f.Zones().Report() {
+			fmt.Fprintf(zw, "%d\t%d\t%d\t%d\t%v\n", z.ID, z.Start, z.Capacity, z.WP, z.State)
+		}
+		if err := zw.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func pick(preset string) (config.DeviceConfig, error) {
+	switch preset {
+	case "paper":
+		return config.Paper(), nil
+	case "small":
+		return config.Small(), nil
+	case "qlc":
+		return config.QLC(), nil
+	}
+	return config.DeviceConfig{}, fmt.Errorf("unknown preset %q", preset)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conzone-inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,404 @@
+// Package conzone is a software emulator of consumer-grade zoned flash
+// storage, reproducing the system described in "ConZone: A Zoned Flash
+// Storage Emulator for Consumer Devices" (DATE 2025).
+//
+// The emulator models the internal hardware that distinguishes consumer
+// zoned devices from enterprise ZNS SSDs: a small number of shared volatile
+// write buffers (premature flushes on zone conflicts), an SLC-mode block
+// region used as a secondary write buffer with 4 KiB partial programming, a
+// hybrid L2P mapping table whose entries aggregate to chunk or zone
+// granularity, a byte-budgeted L2P cache with three miss-handling
+// strategies, and composite garbage collection. Timing follows a
+// discrete-event model with per-chip and per-channel resource reservation
+// and the paper's Table-II media latencies.
+//
+// # Quick start
+//
+//	dev, err := conzone.Open(conzone.PaperConfig())
+//	if err != nil { ... }
+//	err = dev.Write(0, data)             // sequential, 4 KiB-aligned
+//	buf, err := dev.Read(0, len(data))
+//	fmt.Println(dev.Now(), dev.WAF())
+//
+// Every operation advances the device's virtual clock by the simulated
+// hardware time; no wall-clock time is consumed. For experiment-grade
+// control (explicit virtual timestamps, multi-threaded workloads), use
+// WriteAt/ReadAt or the workload runner in this package.
+package conzone
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/confzns"
+	"github.com/conzone/conzone/internal/femu"
+	"github.com/conzone/conzone/internal/ftl"
+	"github.com/conzone/conzone/internal/l2pcache"
+	"github.com/conzone/conzone/internal/legacy"
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/slc"
+	"github.com/conzone/conzone/internal/units"
+	"github.com/conzone/conzone/internal/wbuf"
+	"github.com/conzone/conzone/internal/workload"
+	"github.com/conzone/conzone/internal/zns"
+)
+
+// SectorSize is the logical block size of the device: 4 KiB.
+const SectorSize = units.Sector
+
+// Re-exported configuration types. A Config fully describes the media
+// geometry, the timing table and the FTL parameters of every device model
+// this module can build (ConZone, Legacy, and the FEMU and ConfZNS
+// personalities).
+type (
+	// Config bundles geometry, latencies and per-model parameters.
+	Config = config.DeviceConfig
+	// Geometry is the physical NAND organisation.
+	Geometry = nand.Geometry
+	// LatencyTable holds per-media operation latencies (paper Table II).
+	LatencyTable = nand.LatencyTable
+	// Media is a flash cell type.
+	Media = nand.Media
+	// FTLParams configures the ConZone FTL.
+	FTLParams = ftl.Params
+	// Strategy selects the L2P miss search strategy.
+	Strategy = ftl.Strategy
+	// ZoneInfo is a host-visible zone descriptor.
+	ZoneInfo = zns.Zone
+	// ZoneState is the NVMe-style zone condition.
+	ZoneState = zns.State
+	// Time is a virtual-time instant.
+	Time = sim.Time
+)
+
+// Media constants.
+const (
+	SLC = nand.SLCMode
+	TLC = nand.TLC
+	QLC = nand.QLC
+)
+
+// L2P search strategies (paper §III-C, Fig. 8).
+const (
+	Bitmap   = ftl.Bitmap
+	Multiple = ftl.Multiple
+	Pinned   = ftl.Pinned
+)
+
+// PaperConfig returns the paper's §IV-A evaluation configuration.
+func PaperConfig() Config { return config.Paper() }
+
+// SmallConfig returns a fast, scaled-down configuration for tests and
+// examples.
+func SmallConfig() Config { return config.Small() }
+
+// QLCConfig returns a QLC variant whose zones are naturally power-of-two.
+func QLCConfig() Config { return config.QLC() }
+
+// LoadConfig reads a JSON configuration saved with Config.Save.
+func LoadConfig(path string) (Config, error) { return config.Load(path) }
+
+// DefaultLatencies returns the paper's Table II timing values.
+func DefaultLatencies() LatencyTable { return nand.DefaultLatencies() }
+
+// Stats is a unified snapshot of a ConZone device's counters.
+type Stats struct {
+	FTL     ftl.Stats
+	Cache   l2pcache.Stats
+	NAND    nand.Counters
+	Staging slc.Stats
+	Buffers wbuf.Stats
+
+	WAF          float64
+	L2PMissRatio float64
+}
+
+// Device is a thread-safe ConZone device with a byte-granular convenience
+// API and an internal virtual clock. All byte offsets and lengths must be
+// multiples of SectorSize.
+type Device struct {
+	mu  sync.Mutex
+	f   *ftl.FTL
+	now sim.Time
+}
+
+// Open builds a ConZone device from the configuration.
+func Open(cfg Config) (*Device, error) {
+	f, err := cfg.NewConZone()
+	if err != nil {
+		return nil, err
+	}
+	return &Device{f: f}, nil
+}
+
+// FTL exposes the underlying flash translation layer for experiment
+// harnesses that need virtual-time control or internal statistics.
+func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// Capacity returns the device capacity in bytes.
+func (d *Device) Capacity() int64 { return d.f.TotalSectors() * SectorSize }
+
+// ZoneBytes returns the writable bytes per zone.
+func (d *Device) ZoneBytes() int64 { return d.f.ZoneCapSectors() * SectorSize }
+
+// NumZones returns the zone count.
+func (d *Device) NumZones() int { return d.f.NumZones() }
+
+// Now returns the device's virtual clock as a duration from power-on.
+func (d *Device) Now() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Duration(d.now)
+}
+
+func (d *Device) advance(t sim.Time) {
+	if t > d.now {
+		d.now = t
+	}
+}
+
+func checkAlign(off int64, n int) error {
+	if off < 0 || off%SectorSize != 0 {
+		return fmt.Errorf("conzone: offset %d not %d-aligned", off, SectorSize)
+	}
+	if n <= 0 || int64(n)%SectorSize != 0 {
+		return fmt.Errorf("conzone: length %d not a positive multiple of %d", n, SectorSize)
+	}
+	return nil
+}
+
+func toSectors(data []byte) [][]byte {
+	n := int64(len(data)) / SectorSize
+	out := make([][]byte, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = data[i*SectorSize : (i+1)*SectorSize]
+	}
+	return out
+}
+
+// Write appends data at byte offset off, which must equal the target
+// zone's write pointer. The device clock advances by the simulated time.
+func (d *Device) Write(off int64, data []byte) error {
+	if err := checkAlign(off, len(data)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.f.Write(d.now, off/SectorSize, toSectors(data))
+	if err != nil {
+		return err
+	}
+	d.advance(done)
+	return nil
+}
+
+// WriteAt performs a write at an explicit virtual time and returns the
+// completion instant (experiment-harness API).
+func (d *Device) WriteAt(at Time, off int64, data []byte) (Time, error) {
+	if err := checkAlign(off, len(data)); err != nil {
+		return at, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.f.Write(at, off/SectorSize, toSectors(data))
+	if err != nil {
+		return at, err
+	}
+	d.advance(done)
+	return done, nil
+}
+
+// Read returns n bytes from byte offset off. Unwritten sectors read as
+// zeros, as on real hardware.
+func (d *Device) Read(off int64, n int) ([]byte, error) {
+	if err := checkAlign(off, n); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sectors, done, err := d.f.Read(d.now, off/SectorSize, int64(n)/SectorSize)
+	if err != nil {
+		return nil, err
+	}
+	d.advance(done)
+	out := make([]byte, n)
+	for i, s := range sectors {
+		if s != nil {
+			copy(out[int64(i)*SectorSize:], s)
+		}
+	}
+	return out, nil
+}
+
+// ReadAt performs a read at an explicit virtual time, returning per-sector
+// payloads (nil = unwritten) and the completion instant.
+func (d *Device) ReadAt(at Time, off int64, n int) ([][]byte, Time, error) {
+	if err := checkAlign(off, n); err != nil {
+		return nil, at, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sectors, done, err := d.f.Read(at, off/SectorSize, int64(n)/SectorSize)
+	if err != nil {
+		return nil, at, err
+	}
+	d.advance(done)
+	return sectors, done, nil
+}
+
+// ResetZone resets the zone: its write pointer returns to the start, its
+// flash blocks are erased, and its mapping entries are dropped.
+func (d *Device) ResetZone(zone int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.f.ResetZone(d.now, zone)
+	if err != nil {
+		return err
+	}
+	d.advance(done)
+	return nil
+}
+
+// OpenZone explicitly opens a zone.
+func (d *Device) OpenZone(zone int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.OpenZone(zone)
+}
+
+// CloseZone closes a zone, draining its write buffer.
+func (d *Device) CloseZone(zone int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.f.CloseZone(d.now, zone)
+	if err != nil {
+		return err
+	}
+	d.advance(done)
+	return nil
+}
+
+// FinishZone transitions a zone to FULL.
+func (d *Device) FinishZone(zone int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.f.FinishZone(d.now, zone)
+	if err != nil {
+		return err
+	}
+	d.advance(done)
+	return nil
+}
+
+// FlushZone forces the zone's buffered data to media (synchronous write
+// semantics; sub-unit data detours through SLC).
+func (d *Device) FlushZone(zone int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.f.Flush(d.now, zone)
+	if err != nil {
+		return err
+	}
+	d.advance(done)
+	return nil
+}
+
+// Flush drains every write buffer.
+func (d *Device) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	done, err := d.f.FlushAll(d.now)
+	if err != nil {
+		return err
+	}
+	d.advance(done)
+	return nil
+}
+
+// Zones returns the zone report (as NVMe Report Zones would).
+func (d *Device) Zones() []ZoneInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Zones().Report()
+}
+
+// Zone returns one zone descriptor.
+func (d *Device) Zone(id int) (ZoneInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Zones().Zone(id)
+}
+
+// WAF returns the write amplification factor observed so far.
+func (d *Device) WAF() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.WAF()
+}
+
+// WearReport summarises per-superblock erase counts.
+type WearReport = ftl.WearReport
+
+// Wear returns the device's current wear report (erase counts per normal
+// and SLC superblock).
+func (d *Device) Wear() WearReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Wear()
+}
+
+// Stats returns a unified counter snapshot.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		FTL:          d.f.Stats(),
+		Cache:        d.f.Cache().Stats(),
+		NAND:         d.f.Array().Counters(),
+		Staging:      d.f.Staging().Stats(),
+		Buffers:      d.f.Buffers().Stats(),
+		WAF:          d.f.WAF(),
+		L2PMissRatio: d.f.Cache().MissRatio(),
+	}
+}
+
+// Workload types re-exported for experiment harnesses.
+type (
+	// Job is an fio-style micro-benchmark description.
+	Job = workload.Job
+	// JobResult summarises a finished job.
+	JobResult = workload.Result
+	// Pattern is a job access pattern.
+	Pattern = workload.Pattern
+	// WorkloadDevice is the surface the runner drives.
+	WorkloadDevice = workload.Device
+	// LegacyDevice is the traditional page-mapping baseline device.
+	LegacyDevice = legacy.Device
+	// FEMUDevice is the FEMU-personality comparator device.
+	FEMUDevice = femu.Device
+	// ConfZNSDevice is the ConfZNS-personality comparator device.
+	ConfZNSDevice = confzns.Device
+)
+
+// Job patterns.
+const (
+	SeqWrite  = workload.SeqWrite
+	SeqRead   = workload.SeqRead
+	RandRead  = workload.RandRead
+	RandWrite = workload.RandWrite
+)
+
+// RunJob executes a workload job against any device model.
+func RunJob(dev WorkloadDevice, job Job) (JobResult, error) { return workload.Run(dev, job) }
+
+// NewLegacy builds the Legacy baseline device from a configuration.
+func NewLegacy(cfg Config) (*LegacyDevice, error) { return cfg.NewLegacy() }
+
+// NewFEMU builds the FEMU-personality device from a configuration.
+func NewFEMU(cfg Config) (*FEMUDevice, error) { return cfg.NewFEMU() }
+
+// NewConfZNS builds the ConfZNS-personality device from a configuration.
+func NewConfZNS(cfg Config) (*ConfZNSDevice, error) { return cfg.NewConfZNS() }

@@ -1,0 +1,3 @@
+module github.com/conzone/conzone
+
+go 1.22

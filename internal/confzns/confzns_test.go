@@ -1,0 +1,182 @@
+package confzns
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
+)
+
+func testGeo() nand.Geometry {
+	return nand.Geometry{
+		Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 16,
+		PagesPerBlock: 24, SLCPagesPerBlock: 8, PageSize: 16 * units.KiB,
+		SLCBlocks: 4, MapBlocks: 2, NormalMedia: nand.TLC,
+		ProgramUnit: 96 * units.KiB, SLCProgramUnit: 4 * units.KiB,
+		ChannelMiBps: 3200,
+	}
+}
+
+func testParams() Params {
+	return Params{VMExitMin: 20 * time.Microsecond, VMExitMax: 60 * time.Microsecond, Seed: 7}
+}
+
+func newTestDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(testGeo(), nand.DefaultLatencies(), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func payloadFor(lba int64) []byte {
+	p := make([]byte, units.Sector)
+	for i := range p {
+		p[i] = byte((lba*11 + int64(i)) % 241)
+	}
+	return p
+}
+
+func payloadsFor(lba, n int64) [][]byte {
+	out := make([][]byte, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = payloadFor(lba + i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	p := testParams()
+	p.VMExitMax = p.VMExitMin - 1
+	if _, err := New(testGeo(), nand.DefaultLatencies(), p); err == nil {
+		t.Error("inverted jitter accepted")
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	d := newTestDevice(t)
+	if d.NumZones() != 10 || d.ZoneCapSectors() != 384 {
+		t.Errorf("zones = %d x %d", d.NumZones(), d.ZoneCapSectors())
+	}
+	if d.Array().Geometry().ChannelMiBps != 0 {
+		t.Error("channel model not disabled (FEMU lineage)")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestDevice(t)
+	if _, err := d.Write(0, 0, payloadsFor(0, 48)); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := d.Read(0, 0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 48; i++ {
+		if !bytes.Equal(out[i], payloadFor(i)) {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSubUnitWritesChargedEveryTime(t *testing.T) {
+	d := newTestDevice(t)
+	// Four 12-sector writes complete two 24-sector units. A buffered
+	// device would charge 2 programs; bufferless ConfZNS charges one per
+	// write that leaves a sub-unit tail plus the unit programs.
+	var at sim.Time
+	for i := int64(0); i < 4; i++ {
+		dn, err := d.Write(at, i*12, payloadsFor(i*12, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = dn
+	}
+	if d.Stats().Programs < 4 {
+		t.Errorf("Programs = %d, want >= 4 (no write buffer)", d.Stats().Programs)
+	}
+	// Pending data mid-unit reads back correctly.
+	if _, err := d.Write(at, 48, payloadsFor(48, 12)); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := d.Read(at, 48, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 12; i++ {
+		if !bytes.Equal(out[i], payloadFor(48+i)) {
+			t.Fatalf("pending read mismatch at %d", i)
+		}
+	}
+}
+
+func TestWriteWaitsForMedia(t *testing.T) {
+	d := newTestDevice(t)
+	// Without a write buffer the host waits for tPROG: a full-unit write
+	// completes no earlier than ~937.5us (+ jitter).
+	done, err := d.Write(0, 0, payloadsFor(0, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < sim.Time(937*time.Microsecond) {
+		t.Errorf("bufferless write completed too fast: %v", done)
+	}
+}
+
+func TestSequentialityEnforced(t *testing.T) {
+	d := newTestDevice(t)
+	if _, err := d.Write(0, 10, payloadsFor(10, 2)); err == nil {
+		t.Error("write off WP accepted")
+	}
+}
+
+func TestResetZone(t *testing.T) {
+	d := newTestDevice(t)
+	if _, err := d.Write(0, 0, payloadsFor(0, 24)); err != nil {
+		t.Fatal(err)
+	}
+	done, err := d.ResetZone(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := d.Read(done, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out {
+		if p != nil {
+			t.Error("data survived reset")
+		}
+	}
+	if _, err := d.Write(done, 0, payloadsFor(0, 24)); err != nil {
+		t.Errorf("write after reset: %v", err)
+	}
+}
+
+func TestFlushIsNoOp(t *testing.T) {
+	d := newTestDevice(t)
+	if _, err := d.Write(0, 0, payloadsFor(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	dn, err := d.FlushAll(12345)
+	if err != nil || dn != 12345 {
+		t.Errorf("FlushAll = %v, %v", dn, err)
+	}
+}
+
+func TestZoneMapCounts(t *testing.T) {
+	d := newTestDevice(t)
+	if _, err := d.Write(0, 0, payloadsFor(0, 24)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Read(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().ZoneMapLookups < 2 {
+		t.Errorf("ZoneMapLookups = %d", d.Stats().ZoneMapLookups)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/refdata"
+	"github.com/conzone/conzone/internal/units"
+	"github.com/conzone/conzone/internal/workload"
+)
+
+// Fig6bResult reports the write-buffer-conflict experiment: two threads
+// write one zone each with 48 KiB granularity; when the two zones share a
+// write buffer (same parity under modulo mapping) every switch evicts the
+// other zone's sub-unit data to SLC.
+type Fig6bResult struct {
+	ConflictBW    float64 // MiB/s
+	NoConflictBW  float64
+	ConflictWAF   float64
+	NoConflictWAF float64
+	// Premature flush counts make the mechanism visible.
+	ConflictEvictions   int64
+	NoConflictEvictions int64
+
+	Checks []string
+	Pass   bool
+}
+
+// RunFig6b reproduces Fig. 6(b). The paper splits odd and even zones
+// across the two buffers and writes two zones of the same parity
+// (conflict) or different parity (no conflict), 48 KiB at a time, one
+// zone's capacity per thread.
+func RunFig6b(cfg config.DeviceConfig, opt Options) (Fig6bResult, error) {
+	var res Fig6bResult
+	run := func(zoneA, zoneB int) (float64, float64, int64, error) {
+		f, err := cfg.NewConZone()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		zoneBytes := f.ZoneCapSectors() * units.Sector
+		vol := units.AlignDown(min64(opt.WriteBytes, zoneBytes), 48*units.KiB)
+		r, err := workload.Run(f, workload.Job{
+			Name: "fig6b", Pattern: workload.SeqWrite,
+			BlockBytes: 48 * units.KiB,
+			NumJobs:    2,
+			RangeBytes: int64(f.NumZones()) * zoneBytes,
+			ThreadOffsets: []int64{
+				int64(zoneA) * zoneBytes,
+				int64(zoneB) * zoneBytes,
+			},
+			TotalBytesPerJob: vol,
+			PerOpOverhead:    opt.PerOpOverhead,
+			FlushAtEnd:       true,
+			Seed:             17,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return r.BandwidthMiBps, f.WAF(), f.Buffers().Stats().Evictions, nil
+	}
+
+	// Same parity -> same buffer -> conflicts (zones 1 and 3).
+	var err error
+	res.ConflictBW, res.ConflictWAF, res.ConflictEvictions, err = run(1, 3)
+	if err != nil {
+		return res, fmt.Errorf("conflict run: %w", err)
+	}
+	// Different parity -> different buffers (zones 1 and 2).
+	res.NoConflictBW, res.NoConflictWAF, res.NoConflictEvictions, err = run(1, 2)
+	if err != nil {
+		return res, fmt.Errorf("no-conflict run: %w", err)
+	}
+
+	res.Pass = true
+	for _, c := range refdata.Fig6b() {
+		var m float64
+		switch c.ID {
+		case "fig6b-bandwidth":
+			m = ratio(res.NoConflictBW, res.ConflictBW)
+		case "fig6b-wa":
+			if res.ConflictWAF > 0 {
+				m = 1 - res.NoConflictWAF/res.ConflictWAF
+			}
+		}
+		ok, line := c.Check(m)
+		res.Checks = append(res.Checks, line)
+		res.Pass = res.Pass && ok
+	}
+	return res, nil
+}

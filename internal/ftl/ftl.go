@@ -1,0 +1,487 @@
+// Package ftl is the heart of the ConZone emulator: the flash translation
+// layer of a consumer-grade zoned flash storage device. It composes the
+// substrates — NAND array, zone manager, write buffers, SLC staging region,
+// hybrid mapping table and L2P cache — into the read, write and erase paths
+// of the paper's Figs. 2-5.
+//
+// # Physical sector numbers
+//
+// The FTL translates logical sectors (LPAs) to abstract physical sector
+// numbers (PSNs):
+//
+//   - PSN in [0, numZones*zoneCap): "reserved" placement. PSN = zone *
+//     zoneCap + offset. Offsets below the superblock capacity live in the
+//     zone's bound normal superblock, striped across chips one program unit
+//     at a time; offsets beyond it (the pow2 alignment tail, paper §III-E)
+//     live in a contiguous run of the SLC staging region. Because PSN equals
+//     zone-base plus offset, physical contiguity is PSN arithmetic, and
+//     mapping entries over these runs can aggregate to chunk or zone level.
+//   - PSN >= aggLimit: staged placement. PSN = aggLimit + staging linear
+//     index. These sectors sit wherever the SLC write pointer was, are
+//     tracked by the staging region's validity maps, and never aggregate.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/conzone/conzone/internal/l2pcache"
+	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/slc"
+	"github.com/conzone/conzone/internal/stats"
+	"github.com/conzone/conzone/internal/units"
+	"github.com/conzone/conzone/internal/wbuf"
+	"github.com/conzone/conzone/internal/zns"
+)
+
+// Strategy selects how the granularity of a missing L2P entry is discovered
+// before fetching it from flash (paper §III-C and Fig. 8).
+type Strategy int
+
+const (
+	// Bitmap keeps an SRAM bitmap of all map bits: one flash fetch per
+	// miss, at a ~0.006% DRAM capacity overhead (performance-optimised).
+	Bitmap Strategy = iota
+	// Multiple probes zone, then chunk, then page entries from flash,
+	// costing up to three fetches per miss (capacity-optimised).
+	Multiple
+	// Pinned keeps aggregated entries pinned in the L2P cache from the
+	// moment they are created, so misses concern page entries only.
+	Pinned
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Bitmap:
+		return "BITMAP"
+	case Multiple:
+		return "MULTIPLE"
+	case Pinned:
+		return "PINNED"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a config string to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "BITMAP", "bitmap":
+		return Bitmap, nil
+	case "MULTIPLE", "multiple":
+		return Multiple, nil
+	case "PINNED", "pinned":
+		return Pinned, nil
+	}
+	return 0, fmt.Errorf("ftl: unknown search strategy %q", s)
+}
+
+// Params configures the FTL on top of a NAND geometry.
+type Params struct {
+	NumWriteBuffers int   // shared volatile write buffers (paper: 2)
+	L2PCacheBytes   int64 // L2P cache budget (paper: 12 KiB)
+	L2PEntryBytes   int64 // bytes per cache entry (paper: 4)
+	ChunkSectors    int64 // sectors per aggregation chunk (1024 = 4 MiB)
+	Search          Strategy
+	AggregateZones  bool // allow zone-level aggregation (chunk always on)
+	AlignZones      bool // pow2-align zone capacity, patching the tail to SLC
+	MaxOpenZones    int  // 0 = unlimited
+	MaxActiveZones  int  // 0 = unlimited
+
+	// DisableAggregation switches the FTL to pure page mapping: map bits
+	// never widen, so the L2P cache holds only page entries. This is the
+	// "page mapping" arm of the paper's Fig. 7 case study.
+	DisableAggregation bool
+
+	// DisableCombine turns off the Fig. 3 ③ path: partial-unit data
+	// staged to SLC is never read back and merged into the normal area;
+	// it stays in SLC until its zone is reset or GC moves it. Used by the
+	// combine ablation bench.
+	DisableCombine bool
+
+	// ConventionalZones makes the first N zones conventional (paper
+	// §III-E): the host may update them in place, as F2FS metadata
+	// requires. Their data lives page-mapped in the SLC region — isolated
+	// from the sequential zones' reserved superblocks — and is reclaimed
+	// by the SLC garbage collector.
+	ConventionalZones int
+
+	// L2PLogEntries enables the L2P-log persistence model (paper §III-E):
+	// mapping-table updates accumulate in a volatile log, and once this
+	// many are pending the log is flushed to the map region, blocking the
+	// host request that tripped it. 0 disables the model (the paper's own
+	// artifact defers persistence to future work).
+	L2PLogEntries int64
+}
+
+// Stats aggregates the FTL-level counters on top of the substrate stats.
+type Stats struct {
+	HostReadBytes    int64
+	HostWrittenBytes int64
+	DirectPUs        int64 // write-buffer flushes programmed straight to normal blocks (Fig. 3 ①)
+	StagedSectors    int64 // sectors detoured through SLC (Fig. 3 ②)
+	Combines         int64 // SLC read-back + merged PU programs (Fig. 3 ③)
+	PrematureFlushes int64 // buffer evictions due to zone conflicts
+	MapFetches       int64 // L2P entry fetches from flash
+	MapFetchReads    int64 // flash reads those fetches needed (≥ MapFetches)
+	ZoneResets       int64
+	TailSectors      int64 // alignment-tail sectors written to reserved SLC
+	BufferReads      int64 // read sectors served from the volatile write buffer
+	L2PLogFlushes    int64 // L2P log persistence events (blocking)
+	L2PLogPages      int64 // map-region pages those flushes programmed
+}
+
+type pendSector struct {
+	off  int64 // zone-relative sector offset
+	gidx int64 // staging linear index
+}
+
+type zoneState struct {
+	sb   int  // bound normal superblock, -1 when unbound
+	conv bool // conventional zone: in-place updates, SLC-resident
+
+	// pend are staged sectors of the current partially-programmed unit,
+	// waiting to be combined (Fig. 3 ③). All lie within one PU.
+	pend []pendSector
+
+	// Alignment-tail bookkeeping (paper §III-E). tailBase is the staging
+	// linear index where offset sbSectors landed; the tail keeps
+	// zone-linear PSNs while tailContig holds.
+	tailBase   int64
+	tailSet    bool
+	tailContig bool
+
+	// staged holds the staging linear indices currently owned by the zone
+	// (pend + tail + any stale staged sectors), for invalidation on reset.
+	staged map[int64]struct{}
+}
+
+// FTL is the ConZone flash translation layer.
+type FTL struct {
+	arr     *nand.Array
+	zones   *zns.Manager
+	table   *mapping.Table
+	cache   *l2pcache.Cache
+	bufs    *wbuf.Manager
+	staging *slc.Region
+	params  Params
+
+	geo        nand.Geometry
+	puSectors  int64 // sectors per program unit
+	sbSectors  int64 // data sectors per normal superblock
+	zoneCap    int64 // logical sectors per zone
+	numZones   int
+	aggLimit   mapping.PSN
+	spp        int // sectors per page
+	pagesPerPU int
+
+	zstate  []zoneState
+	freeSBs []int // normal superblock ids ready for binding
+
+	// bufFlushQ holds the release times of each buffer's most recent
+	// flushes. A write waits until fewer than flushPipelineDepth flushes
+	// of its buffer are still draining — the controller's internal flush
+	// FIFO (about one superpage) gives one flush of slack beyond the
+	// in-flight one, and this is what makes buffered write bandwidth
+	// converge to the media program rate without idling the chips.
+	bufFlushQ [][]sim.Time
+
+	l2pLogPending int64 // mapping updates awaiting an L2P-log flush
+	l2pLogChip    int   // round-robin chip for log programs
+
+	stats Stats
+}
+
+// New builds the FTL and all its substrates over a fresh NAND array.
+func New(geo nand.Geometry, lat nand.LatencyTable, p Params) (*FTL, error) {
+	if err := validateParams(geo, p); err != nil {
+		return nil, err
+	}
+	arr, err := nand.NewArray(geo, lat, sim.NewEngine())
+	if err != nil {
+		return nil, err
+	}
+	return NewWithArray(arr, p)
+}
+
+// NewWithArray builds the FTL over an existing array (tests use this to
+// inspect media state).
+func NewWithArray(arr *nand.Array, p Params) (*FTL, error) {
+	geo := arr.Geometry()
+	if err := validateParams(geo, p); err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		arr:        arr,
+		params:     p,
+		geo:        geo,
+		puSectors:  geo.ProgramUnit / units.Sector,
+		sbSectors:  geo.SuperblockBytes() / units.Sector,
+		numZones:   geo.NormalBlocks(),
+		spp:        geo.SectorsPerPage(),
+		pagesPerPU: geo.PagesPerPU(),
+	}
+	f.zoneCap = f.sbSectors
+	if p.AlignZones {
+		f.zoneCap = units.NextPow2(f.sbSectors)
+	}
+	if f.zoneCap%p.ChunkSectors != 0 {
+		return nil, fmt.Errorf("ftl: zone capacity %d sectors not a multiple of chunk %d; "+
+			"use AlignZones or a pow2 geometry", f.zoneCap, p.ChunkSectors)
+	}
+	f.aggLimit = mapping.PSN(int64(f.numZones) * f.zoneCap)
+
+	var err error
+	f.zones, err = zns.NewManager(zns.Config{
+		NumZones:     f.numZones,
+		ZoneSize:     f.zoneCap,
+		ZoneCapacity: f.zoneCap,
+		MaxOpen:      p.MaxOpenZones,
+		MaxActive:    p.MaxActiveZones,
+		Conventional: p.ConventionalZones,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.table, err = mapping.NewTable(mapping.Config{
+		TotalSectors: int64(f.numZones) * f.zoneCap,
+		ChunkSectors: p.ChunkSectors,
+		ZoneSectors:  f.zoneCap,
+		AggLimit:     f.aggLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.cache, err = l2pcache.New(p.L2PCacheBytes, p.L2PEntryBytes, f.table)
+	if err != nil {
+		return nil, err
+	}
+	f.bufs, err = wbuf.New(p.NumWriteBuffers, geo.SuperpageBytes()/units.Sector)
+	if err != nil {
+		return nil, err
+	}
+	slcBlocks := make([]int, geo.SLCBlocks)
+	for i := range slcBlocks {
+		slcBlocks[i] = i
+	}
+	f.staging, err = slc.NewRegion(arr, slcBlocks)
+	if err != nil {
+		return nil, err
+	}
+	f.zstate = make([]zoneState, f.numZones)
+	for i := range f.zstate {
+		f.zstate[i] = zoneState{sb: -1, conv: i < p.ConventionalZones, staged: make(map[int64]struct{})}
+		// Conventional zones never bind a reserved superblock; their
+		// blocks stay in the free pool (usable as future spares).
+		f.freeSBs = append(f.freeSBs, i)
+	}
+	if p.ConventionalZones > 0 {
+		need := int64(p.ConventionalZones) * f.zoneCap
+		have := f.staging.TotalSectors() - 2*f.staging.SectorsPerSuperblock()
+		if need > have {
+			return nil, fmt.Errorf("ftl: %d conventional zones need %d SLC sectors, region has %d usable",
+				p.ConventionalZones, need, have)
+		}
+	}
+	f.bufFlushQ = make([][]sim.Time, p.NumWriteBuffers)
+	return f, nil
+}
+
+func validateParams(geo nand.Geometry, p Params) error {
+	if err := geo.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.NumWriteBuffers <= 0:
+		return fmt.Errorf("ftl: NumWriteBuffers must be positive, got %d", p.NumWriteBuffers)
+	case p.L2PCacheBytes <= 0 || p.L2PEntryBytes <= 0:
+		return fmt.Errorf("ftl: L2P cache (%d) and entry (%d) bytes must be positive",
+			p.L2PCacheBytes, p.L2PEntryBytes)
+	case p.ChunkSectors <= 0:
+		return fmt.Errorf("ftl: ChunkSectors must be positive, got %d", p.ChunkSectors)
+	case p.Search != Bitmap && p.Search != Multiple && p.Search != Pinned:
+		return fmt.Errorf("ftl: unknown search strategy %d", p.Search)
+	case geo.SLCBlocks < 2:
+		return fmt.Errorf("ftl: need at least 2 SLC blocks for staging, got %d", geo.SLCBlocks)
+	case p.ConventionalZones < 0:
+		return fmt.Errorf("ftl: negative ConventionalZones %d", p.ConventionalZones)
+	case p.L2PLogEntries < 0:
+		return fmt.Errorf("ftl: negative L2PLogEntries %d", p.L2PLogEntries)
+	}
+	return nil
+}
+
+// Geometry returns the underlying NAND geometry.
+func (f *FTL) Geometry() nand.Geometry { return f.geo }
+
+// Array exposes the NAND array (diagnostics and tests).
+func (f *FTL) Array() *nand.Array { return f.arr }
+
+// Zones exposes the zone manager for reporting.
+func (f *FTL) Zones() *zns.Manager { return f.zones }
+
+// Cache exposes the L2P cache for statistics.
+func (f *FTL) Cache() *l2pcache.Cache { return f.cache }
+
+// Staging exposes the SLC staging region for statistics.
+func (f *FTL) Staging() *slc.Region { return f.staging }
+
+// Buffers exposes the write-buffer manager for statistics.
+func (f *FTL) Buffers() *wbuf.Manager { return f.bufs }
+
+// Table exposes the mapping table (tests and tools).
+func (f *FTL) Table() *mapping.Table { return f.table }
+
+// Params returns the configuration in use.
+func (f *FTL) Params() Params { return f.params }
+
+// NumZones returns the zone count.
+func (f *FTL) NumZones() int { return f.numZones }
+
+// ZoneCapSectors returns the logical sectors per zone.
+func (f *FTL) ZoneCapSectors() int64 { return f.zoneCap }
+
+// TotalSectors returns the logical capacity in sectors.
+func (f *FTL) TotalSectors() int64 { return int64(f.numZones) * f.zoneCap }
+
+// Stats returns a snapshot of FTL-level counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// WAF returns the write amplification factor observed so far: NAND bytes
+// programmed over host bytes written.
+func (f *FTL) WAF() float64 {
+	w := stats.WAFTracker{HostBytes: f.stats.HostWrittenBytes, NANDBytes: f.arr.Counters().BytesProgrammed}
+	return w.WAF()
+}
+
+// flushPipelineDepth is how many flushes of one buffer may be draining
+// before a new write to that buffer must wait (see bufFlushQ).
+const flushPipelineDepth = 3
+
+// waitFlushSlot returns the earliest time a new flush of buffer bi can be
+// accepted, given the pipeline depth.
+func (f *FTL) waitFlushSlot(bi int, at sim.Time) sim.Time {
+	q := f.bufFlushQ[bi]
+	if len(q) >= flushPipelineDepth {
+		if w := q[len(q)-flushPipelineDepth]; w > at {
+			at = w
+		}
+	}
+	return at
+}
+
+// noteFlush records a flush's release time for buffer bi.
+func (f *FTL) noteFlush(bi int, rel sim.Time) {
+	q := append(f.bufFlushQ[bi], rel)
+	if len(q) > flushPipelineDepth {
+		q = q[len(q)-flushPipelineDepth:]
+	}
+	f.bufFlushQ[bi] = q
+}
+
+// noteMapUpdates accumulates mapping-table changes toward an L2P-log
+// flush; a no-op when the persistence model is disabled.
+func (f *FTL) noteMapUpdates(n int64) {
+	if f.params.L2PLogEntries > 0 {
+		f.l2pLogPending += n
+	}
+}
+
+// maybeFlushL2PLog persists the accumulated log once it exceeds the
+// configured capacity, returning when the host may proceed (the paper:
+// "the flushing back of the L2P log may block host requests").
+func (f *FTL) maybeFlushL2PLog(at sim.Time) (sim.Time, error) {
+	if f.params.L2PLogEntries <= 0 || f.l2pLogPending < f.params.L2PLogEntries {
+		return at, nil
+	}
+	entriesPerPage := f.geo.PageSize / f.params.L2PEntryBytes
+	if entriesPerPage <= 0 {
+		entriesPerPage = 1
+	}
+	pages := units.CeilDiv(f.l2pLogPending, entriesPerPage)
+	done := at
+	for i := int64(0); i < pages; i++ {
+		d, err := f.arr.ChargeMapProgram(at, f.l2pLogChip)
+		if err != nil {
+			return at, err
+		}
+		f.l2pLogChip = (f.l2pLogChip + 1) % f.geo.Chips()
+		if d > done {
+			done = d
+		}
+	}
+	f.l2pLogPending = 0
+	f.stats.L2PLogFlushes++
+	f.stats.L2PLogPages += pages
+	return done, nil
+}
+
+// errZoneUnbound is an internal signal; it should never escape the FTL.
+var errZoneUnbound = errors.New("ftl: zone has no bound superblock")
+
+// bindSB attaches a free normal superblock to the zone.
+func (f *FTL) bindSB(zone int) error {
+	if f.zstate[zone].sb >= 0 {
+		return nil
+	}
+	if len(f.freeSBs) == 0 {
+		return fmt.Errorf("ftl: no free superblock for zone %d", zone)
+	}
+	f.zstate[zone].sb = f.freeSBs[0]
+	f.freeSBs = f.freeSBs[1:]
+	return nil
+}
+
+// headLoc translates a head-region zone offset (off < sbSectors) to its
+// physical address inside the zone's bound superblock. Program units
+// stripe across chips: PU k lives on chip k mod chips.
+func (f *FTL) headLoc(zone int, off int64) (nand.Addr, error) {
+	sb := f.zstate[zone].sb
+	if sb < 0 {
+		return nand.Addr{}, errZoneUnbound
+	}
+	k := off / f.puSectors
+	chips := int64(f.geo.Chips())
+	chip := int(k % chips)
+	puInChip := k / chips
+	rem := off % f.puSectors
+	return nand.Addr{
+		Chip:   chip,
+		Block:  f.geo.FirstNormalBlock() + sb,
+		Page:   int(puInChip)*f.pagesPerPU + int(rem)/f.spp,
+		Sector: int(rem) % f.spp,
+	}, nil
+}
+
+// psnLoc resolves a PSN to a physical address.
+func (f *FTL) psnLoc(psn mapping.PSN) (nand.Addr, error) {
+	if psn < 0 {
+		return nand.Addr{}, fmt.Errorf("ftl: invalid PSN %d", psn)
+	}
+	if psn >= f.aggLimit {
+		return f.staging.AddrOf(int64(psn - f.aggLimit))
+	}
+	zone := int(int64(psn) / f.zoneCap)
+	off := int64(psn) % f.zoneCap
+	if off < f.sbSectors {
+		return f.headLoc(zone, off)
+	}
+	zs := &f.zstate[zone]
+	if !zs.tailSet {
+		return nand.Addr{}, fmt.Errorf("ftl: zone %d tail PSN %d without tail base", zone, psn)
+	}
+	return f.staging.AddrOf(zs.tailBase + (off - f.sbSectors))
+}
+
+// mapChip returns the chip whose map region holds the translation entry
+// for lpa: translation pages are striped across chips by entry group.
+func (f *FTL) mapChip(lpa int64) int {
+	entriesPerSector := units.Sector / f.params.L2PEntryBytes
+	if entriesPerSector <= 0 {
+		entriesPerSector = 1
+	}
+	return int((lpa / entriesPerSector) % int64(f.geo.Chips()))
+}

@@ -1,0 +1,128 @@
+package ftl
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// modelZone mirrors what the host believes about one zone.
+type modelZone struct {
+	wp   int64 // zone-relative write pointer
+	data map[int64][]byte
+}
+
+// TestRandomOpsAgainstModel drives the FTL with a long pseudo-random
+// sequence of writes (at the write pointer), explicit flushes, zone resets
+// and reads, comparing every read against a shadow model. This exercises
+// the direct/staged/combine write paths, buffer conflicts, staging GC, the
+// alignment tail and the cache simultaneously.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	for _, strat := range []Strategy{Bitmap, Multiple, Pinned} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			f := newTestFTL(t, func(p *Params) { p.Search = strat })
+			rng := sim.NewRand(42 + uint64(strat))
+			zc := f.ZoneCapSectors()
+			const zonesUsed = 4
+			model := make([]modelZone, zonesUsed)
+			for i := range model {
+				model[i].data = make(map[int64][]byte)
+			}
+			var at sim.Time
+
+			for step := 0; step < 1500; step++ {
+				zone := int(rng.Int63n(zonesUsed))
+				m := &model[zone]
+				base := int64(zone) * zc
+				switch rng.Int63n(10) {
+				case 0, 1, 2, 3, 4: // write 1..32 sectors at the WP
+					n := rng.Int63n(32) + 1
+					if m.wp+n > zc {
+						n = zc - m.wp
+					}
+					if n <= 0 {
+						continue
+					}
+					lba := base + m.wp
+					d, err := f.Write(at, lba, payloadsFor(lba, n))
+					if err != nil {
+						t.Fatalf("step %d: write z%d@%d+%d: %v", step, zone, lba, n, err)
+					}
+					at = d
+					for i := int64(0); i < n; i++ {
+						m.data[m.wp+i] = payloadFor(lba + i)
+					}
+					m.wp += n
+				case 5: // explicit flush
+					d, err := f.Flush(at, zone)
+					if err != nil {
+						t.Fatalf("step %d: flush z%d: %v", step, zone, err)
+					}
+					at = d
+				case 6: // reset
+					d, err := f.ResetZone(at, zone)
+					if err != nil {
+						t.Fatalf("step %d: reset z%d: %v", step, zone, err)
+					}
+					at = d
+					m.wp = 0
+					m.data = make(map[int64][]byte)
+				default: // read 1..16 sectors somewhere in the zone
+					n := rng.Int63n(16) + 1
+					off := rng.Int63n(zc)
+					if off+n > zc {
+						n = zc - off
+					}
+					out, d, err := f.Read(at, base+off, n)
+					if err != nil {
+						t.Fatalf("step %d: read z%d@%d+%d: %v", step, zone, off, n, err)
+					}
+					at = d
+					for i := int64(0); i < n; i++ {
+						want, written := m.data[off+i]
+						got := out[i]
+						if written && !bytes.Equal(got, want) {
+							t.Fatalf("step %d: z%d off %d: payload mismatch", step, zone, off+i)
+						}
+						if !written && got != nil {
+							t.Fatalf("step %d: z%d off %d: phantom data", step, zone, off+i)
+						}
+					}
+				}
+				if step%100 == 0 {
+					if err := f.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Final full verification of every zone.
+			for zone := 0; zone < zonesUsed; zone++ {
+				m := &model[zone]
+				base := int64(zone) * zc
+				out, _, err := f.Read(at, base, zc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for off := int64(0); off < zc; off++ {
+					want, written := m.data[off]
+					if written && !bytes.Equal(out[off], want) {
+						t.Fatalf("final: z%d off %d mismatch", zone, off)
+					}
+					if !written && out[off] != nil {
+						t.Fatalf("final: z%d off %d phantom", zone, off)
+					}
+				}
+			}
+			// WAF sanity: NAND programmed at least what the host wrote
+			// minus what is still parked in volatile buffers.
+			if f.Stats().HostWrittenBytes > 0 && f.WAF() > 10 {
+				t.Errorf("implausible WAF %v", f.WAF())
+			}
+		})
+	}
+}

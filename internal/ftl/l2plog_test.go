@@ -1,0 +1,155 @@
+package ftl
+
+import (
+	"testing"
+
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// newLogFTL builds a test FTL with a tiny L2P log so flushes trip quickly.
+func newLogFTL(t *testing.T, entries int64) *FTL {
+	t.Helper()
+	return newTestFTL(t, func(p *Params) { p.L2PLogEntries = entries })
+}
+
+func TestL2PLogDisabledByDefault(t *testing.T) {
+	f := newTestFTL(t)
+	if _, err := f.Write(0, 0, payloadsFor(0, 96)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().L2PLogFlushes != 0 {
+		t.Error("log flushed with persistence disabled")
+	}
+	if f.Array().Counters().MapPrograms != 0 {
+		t.Error("map programs charged with persistence disabled")
+	}
+}
+
+func TestL2PLogValidation(t *testing.T) {
+	p := testParams()
+	p.L2PLogEntries = -1
+	if _, err := New(testGeo(), nand.DefaultLatencies(), p); err == nil {
+		t.Error("negative log size accepted")
+	}
+}
+
+func TestL2PLogFlushTripsAtCapacity(t *testing.T) {
+	// Log of 100 entries: a 96-sector buffer flush (96 updates) does not
+	// trip it, a second one (192 total) does.
+	f := newLogFTL(t, 100)
+	if _, err := f.Write(0, 0, payloadsFor(0, 96)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().L2PLogFlushes != 0 {
+		t.Fatalf("flushed too early: %+v", f.Stats())
+	}
+	if _, err := f.Write(0, 96, payloadsFor(96, 96)); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.L2PLogFlushes != 1 {
+		t.Fatalf("L2PLogFlushes = %d", st.L2PLogFlushes)
+	}
+	if st.L2PLogPages < 1 {
+		t.Errorf("L2PLogPages = %d", st.L2PLogPages)
+	}
+	if f.Array().Counters().MapPrograms != st.L2PLogPages {
+		t.Error("map program accounting mismatch")
+	}
+	// The pending counter reset: a third identical write trips it again
+	// only after accumulating anew.
+	if _, err := f.Write(0, 192, payloadsFor(192, 96)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().L2PLogFlushes != 1 {
+		t.Error("log flushed before re-accumulating")
+	}
+}
+
+func TestL2PLogBlocksHostWrite(t *testing.T) {
+	f := newLogFTL(t, 96)
+	// First buffer flush trips the log; the write's accept time must
+	// include the SLC map program (~75us + transfer).
+	d, err := f.Write(0, 0, payloadsFor(0, 96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < sim.Time(70_000) {
+		t.Errorf("accept time %v does not include the blocking log flush", d)
+	}
+	// An explicit Flush also trips the log: stage 95 updates via one
+	// flush, then one more sector pushes pending to 96 on the next Flush.
+	if _, err := f.Write(d, 96, payloadsFor(96, 95)); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := f.Flush(d, 0) // 95 pending afterwards
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(d2, 191, payloadsFor(191, 1)); err != nil {
+		t.Fatal(err)
+	}
+	done, err := f.Flush(d2, 0) // 96 pending: trips inside Flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().L2PLogFlushes != 2 {
+		t.Errorf("flushes = %d", f.Stats().L2PLogFlushes)
+	}
+	if done <= d2 {
+		t.Error("flush completion did not advance")
+	}
+}
+
+func TestL2PLogCountsResets(t *testing.T) {
+	f := newLogFTL(t, 2)
+	if _, err := f.Write(0, 0, payloadsFor(0, 24)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Flush(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	flushesBefore := f.Stats().L2PLogFlushes
+	// Two resets add two records; with a 2-entry log the next write-side
+	// check trips.
+	if _, err := f.ResetZone(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ResetZone(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(0, 0, payloadsFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Flush(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().L2PLogFlushes <= flushesBefore {
+		t.Error("reset records never flushed")
+	}
+}
+
+func TestL2PLogIntegrityUnaffected(t *testing.T) {
+	// The log model is timing-only: data integrity must be identical with
+	// and without it.
+	f := newLogFTL(t, 64)
+	var at sim.Time
+	for off := int64(0); off < 480; off += 48 {
+		d, err := f.Write(at, off, payloadsFor(off, 48))
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = d
+	}
+	if _, err := f.FlushAll(at); err != nil {
+		t.Fatal(err)
+	}
+	verifyRead(t, f, at, 0, 480)
+	if f.Stats().L2PLogFlushes == 0 {
+		t.Error("log never flushed during the run")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package ftl
+
+import (
+	"fmt"
+
+	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
+)
+
+// Read handles a host read of n sectors at lba (paper Fig. 4). It returns
+// the per-sector payloads (nil entries when the sector was written without
+// payload or never written) and the completion time of the slowest flash
+// operation involved: data page reads plus any L2P mapping fetches.
+func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
+	zone, err := f.zones.ValidateRead(lba, n)
+	if err != nil {
+		return nil, at, err
+	}
+	out := make([][]byte, n)
+	done := at
+
+	// Per-page batching of media reads: sectors that resolve to the same
+	// flash page cost one sense plus the transfer of the needed sectors.
+	type pageKey struct{ chip, block, page int }
+	pages := make(map[pageKey]int64) // bytes to transfer
+	fetchDone := at
+
+	for i := int64(0); i < n; i++ {
+		l := lba + i
+		// Data still in the volatile write buffer is served from RAM.
+		if p, ok := f.bufs.ReadSector(zone, l); ok {
+			out[i] = p
+			f.stats.BufferReads++
+			continue
+		}
+		// I: query the L2P cache (LZA, then LCA, then LPA).
+		psn, hit := f.cache.Lookup(l)
+		if !hit {
+			// II: fetch the entry from the in-flash mapping table.
+			var d sim.Time
+			var ok bool
+			psn, d, ok, err = f.fetchMapping(at, l)
+			if err != nil {
+				return nil, at, err
+			}
+			if d > fetchDone {
+				fetchDone = d
+			}
+			if !ok {
+				continue // unwritten sector: zeros
+			}
+		}
+		addr, err := f.psnLoc(psn)
+		if err != nil {
+			return nil, at, err
+		}
+		ppa := f.geo.PPAOf(addr)
+		out[i] = f.arr.Payload(ppa)
+		pages[pageKey{addr.Chip, addr.Block, addr.Page}] += units.Sector
+	}
+
+	// III: read the data pages. Reads whose mapping had to be fetched
+	// cannot start before the fetch completes; for simplicity the whole
+	// batch starts after the slowest fetch, which matches the paper's
+	// observation that misses make read latency unstable.
+	start := fetchDone
+	for pk, bytes := range pages {
+		end, err := f.arr.ReadPage(start, pk.chip, pk.block, pk.page, bytes)
+		if err != nil {
+			return nil, at, err
+		}
+		if end > done {
+			done = end
+		}
+	}
+	if fetchDone > done {
+		done = fetchDone
+	}
+	f.stats.HostReadBytes += n * units.Sector
+	f.arr.Engine().Observe(done)
+	return out, done, nil
+}
+
+// fetchMapping loads the L2P entry covering lpa from the in-flash mapping
+// table after a cache miss, charging flash reads according to the search
+// strategy, and inserts the fetched entry into the cache (Fig. 4 ④).
+// It returns the sector's PSN, the fetch completion time, and whether the
+// sector is mapped.
+func (f *FTL) fetchMapping(at sim.Time, lpa int64) (mapping.PSN, sim.Time, bool, error) {
+	base, gran, basePSN, ok := f.table.Effective(lpa)
+	reads := 0
+	switch f.params.Search {
+	case Bitmap:
+		// The SRAM map-bits bitmap gives the granularity up front: one
+		// fetch from the right translation page.
+		reads = 1
+	case Multiple:
+		// Probe widest-first from flash: assume zone aggregation, check
+		// the fetched entry's map bits, then chunk, then page (paper
+		// §III-C). The number of fetches depends on the actual level.
+		switch {
+		case !ok:
+			reads = 3 // all three probes fail before concluding unmapped
+		case gran == mapping.Zone:
+			reads = 1
+		case gran == mapping.Chunk:
+			reads = 2
+		default:
+			reads = 3
+		}
+	case Pinned:
+		// Aggregated entries are pinned at creation, so misses should
+		// only concern page-granularity entries: one fetch. If an
+		// aggregated entry was demoted out of the cache (GC relocation),
+		// fall back to the multiple-probe cost for honesty.
+		if ok && gran != mapping.Page {
+			reads = 2
+			if gran == mapping.Zone {
+				reads = 1
+			}
+		} else {
+			reads = 1
+		}
+	}
+	done := at
+	for i := 0; i < reads; i++ {
+		d, err := f.arr.ChargeMapRead(done, f.mapChip(base))
+		if err != nil {
+			return mapping.InvalidPSN, at, false, err
+		}
+		done = d
+	}
+	f.stats.MapFetches++
+	f.stats.MapFetchReads += int64(reads)
+	if !ok {
+		return mapping.InvalidPSN, done, false, nil
+	}
+	pin := f.params.Search == Pinned && gran != mapping.Page
+	f.cache.Insert(gran, base, basePSN, pin)
+	psn := basePSN
+	if gran != mapping.Page {
+		psn += mapping.PSN(lpa - base)
+	}
+	return psn, done, true, nil
+}
+
+// ReadSector is a convenience wrapper reading a single sector.
+func (f *FTL) ReadSector(at sim.Time, lba int64) ([]byte, sim.Time, error) {
+	out, done, err := f.Read(at, lba, 1)
+	if err != nil {
+		return nil, done, err
+	}
+	return out[0], done, nil
+}
+
+// CheckInvariants runs cross-substrate consistency checks; tests call it
+// after operation sequences.
+func (f *FTL) CheckInvariants() error {
+	if err := f.table.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := f.cache.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := f.staging.CheckInvariants(); err != nil {
+		return err
+	}
+	// Every staged index owned by a zone must be valid in the region.
+	for zone := range f.zstate {
+		for g := range f.zstate[zone].staged {
+			if !f.staging.IsValid(g) {
+				return fmt.Errorf("ftl: zone %d owns dead staged index %d", zone, g)
+			}
+		}
+	}
+	return nil
+}

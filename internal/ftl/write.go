@@ -1,0 +1,541 @@
+package ftl
+
+import (
+	"fmt"
+
+	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/slc"
+	"github.com/conzone/conzone/internal/units"
+)
+
+// Write handles a host write of len(payloads) sectors starting at lba
+// (paper Fig. 3). Payload entries may be nil for workloads that do not
+// verify data. It returns the virtual completion time: when the data is
+// accepted into the write buffer, which may require waiting for an ongoing
+// flush of that buffer and may trigger premature flushes of a conflicting
+// zone's data.
+func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error) {
+	n := int64(len(payloads))
+	zone, err := f.zones.ValidateWrite(lba, n)
+	if err != nil {
+		return at, err
+	}
+	// Wait for a free slot in the buffer's flush pipeline.
+	bi := f.bufs.BufferIndex(zone)
+	at = f.waitFlushSlot(bi, at)
+	// Conventional zones may write at any offset; if the buffered run
+	// cannot absorb this write contiguously, drain it first.
+	if f.zstate[zone].conv {
+		if start, cnt := f.bufs.Buffered(zone); cnt > 0 && lba != start+cnt {
+			if fl := f.bufs.Take(zone); fl != nil {
+				rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads)
+				if err != nil {
+					return at, fmt.Errorf("ftl: conventional drain of zone %d: %w", fl.Zone, err)
+				}
+				f.noteFlush(bi, rel)
+				f.arr.Engine().Observe(done)
+			}
+		}
+	}
+	// Conflicting zone-write buffer mapping: evict the occupant (W.1/W.2).
+	// The eviction flush is pipelined one deep: the evicted data drains in
+	// the background while the incoming write fills the buffer, and the
+	// *next* flush of this buffer waits for it (bufAvail above).
+	if ev := f.bufs.Evict(zone); ev != nil {
+		f.stats.PrematureFlushes++
+		rel, done, err := f.flushRun(at, ev.Zone, ev.StartLBA, ev.Payloads)
+		if err != nil {
+			return at, fmt.Errorf("ftl: premature flush of zone %d: %w", ev.Zone, err)
+		}
+		f.noteFlush(bi, rel)
+		f.arr.Engine().Observe(done)
+	}
+	flushes, err := f.bufs.Append(zone, lba, payloads)
+	if err != nil {
+		return at, err
+	}
+	release, done := at, at
+	for _, fl := range flushes {
+		rel, d, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads)
+		if err != nil {
+			return at, fmt.Errorf("ftl: flush of zone %d: %w", fl.Zone, err)
+		}
+		if rel > release {
+			release = rel
+		}
+		if d > done {
+			done = d
+		}
+	}
+	if len(flushes) > 0 {
+		f.noteFlush(bi, release)
+	}
+	if err := f.zones.CommitWrite(lba, n); err != nil {
+		return at, err
+	}
+	f.stats.HostWrittenBytes += n * units.Sector
+	f.arr.Engine().Observe(done)
+	// Persist the L2P log if this request tripped its capacity; the log
+	// flush blocks the host request (paper §III-E).
+	at, err = f.maybeFlushL2PLog(at)
+	if err != nil {
+		return at, err
+	}
+	// The host sees the write complete once the buffer accepted it; the
+	// flush continues in the background (bufAvail throttles successors).
+	return at, nil
+}
+
+// Flush forces the zone's buffered data to media (synchronous flush /
+// cache flush command). Partial programming-unit tails detour through SLC.
+func (f *FTL) Flush(at sim.Time, zone int) (sim.Time, error) {
+	if zone < 0 || zone >= f.numZones {
+		return at, fmt.Errorf("ftl: flush of invalid zone %d", zone)
+	}
+	fl := f.bufs.Take(zone)
+	if fl == nil {
+		return at, nil
+	}
+	rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads)
+	if err != nil {
+		return at, err
+	}
+	f.noteFlush(f.bufs.BufferIndex(zone), rel)
+	// A host-visible flush is a durability barrier: return the time the
+	// data is actually on media, including any L2P-log persistence it
+	// tripped.
+	return f.maybeFlushL2PLog(done)
+}
+
+// FlushAll drains every buffer (device cache flush).
+func (f *FTL) FlushAll(at sim.Time) (sim.Time, error) {
+	done := at
+	for zone := 0; zone < f.numZones; zone++ {
+		d, err := f.Flush(at, zone)
+		if err != nil {
+			return at, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}
+
+// flushRun routes one contiguous buffered run of a zone to media,
+// implementing the decision of Fig. 3: whole program units go directly to
+// the zone's reserved normal superblock (①); partial units are staged to
+// SLC (②); staged partials that now complete a unit are read back,
+// invalidated and programmed together with the new data (③). Alignment
+// tails (offsets beyond the superblock capacity) go to reserved SLC runs.
+func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte) (release, done sim.Time, err error) {
+	z, err := f.zones.Zone(zone)
+	if err != nil {
+		return at, at, err
+	}
+	off := startLBA - z.Start
+	n := int64(len(payloads))
+	release, done = at, at
+
+	if f.zstate[zone].conv {
+		// Conventional zones are SLC-resident and page-mapped; in-place
+		// updates invalidate the previous staged copies.
+		return f.stageConventional(at, zone, startLBA, payloads)
+	}
+
+	for n > 0 {
+		if off >= f.sbSectors {
+			// Alignment tail: everything left goes to reserved SLC.
+			rel, d, err := f.stageTailSectors(at, zone, off, payloads)
+			if err != nil {
+				return at, at, err
+			}
+			f.stats.TailSectors += int64(len(payloads))
+			if rel > release {
+				release = rel
+			}
+			if d > done {
+				done = d
+			}
+			break
+		}
+		// Segment within the current program unit.
+		puStart := off - off%f.puSectors
+		puEnd := puStart + f.puSectors
+		if puEnd > f.sbSectors {
+			puEnd = f.sbSectors // cannot happen with sbSectors % puSectors == 0
+		}
+		segLen := puEnd - off
+		if segLen > n {
+			segLen = n
+		}
+		seg := payloads[:segLen]
+
+		rel, d, err := f.writeHeadSegment(at, zone, off, seg, off+segLen == puEnd)
+		if err != nil {
+			return at, at, err
+		}
+		if rel > release {
+			release = rel
+		}
+		if d > done {
+			done = d
+		}
+		payloads = payloads[segLen:]
+		off += segLen
+		n -= segLen
+	}
+	return release, done, nil
+}
+
+// writeHeadSegment places one run confined to a single program unit.
+// completesPU tells whether the run ends exactly at the unit boundary.
+func (f *FTL) writeHeadSegment(at sim.Time, zone int, off int64, seg [][]byte, completesPU bool) (release, done sim.Time, err error) {
+	zs := &f.zstate[zone]
+	puStart := off - off%f.puSectors
+
+	if !completesPU {
+		// Fig. 3 ②: not enough data to program; stage to SLC.
+		return f.stageSectors(at, zone, off, seg)
+	}
+	if off == puStart {
+		// Fig. 3 ①: the run is exactly one full program unit.
+		return f.programPU(at, zone, puStart, seg)
+	}
+	if f.params.DisableCombine {
+		// Ablation: no read-back/merge; the completing data is staged
+		// alongside the earlier partial.
+		return f.stageSectors(at, zone, off, seg)
+	}
+	// Fig. 3 ③: staged head + new tail complete the unit. Read the staged
+	// sectors back, invalidate them, and program the merged unit.
+	if int64(len(zs.pend)) != off-puStart {
+		return at, at, fmt.Errorf("ftl: zone %d pend %d sectors, expected %d",
+			zone, len(zs.pend), off-puStart)
+	}
+	idxs := make([]int64, len(zs.pend))
+	merged := make([][]byte, f.puSectors)
+	for i, p := range zs.pend {
+		if p.off != puStart+int64(i) {
+			return at, at, fmt.Errorf("ftl: zone %d pend discontinuity at %d", zone, p.off)
+		}
+		idxs[i] = p.gidx
+		merged[i] = f.staging.Payload(p.gidx)
+	}
+	copy(merged[off-puStart:], seg)
+
+	readDone, err := f.staging.ReadSectors(at, idxs)
+	if err != nil {
+		return at, at, err
+	}
+	_, done, err = f.programPU(readDone, zone, puStart, merged)
+	if err != nil {
+		return at, at, err
+	}
+	for _, p := range zs.pend {
+		if err := f.staging.Invalidate(p.gidx); err != nil {
+			return at, at, err
+		}
+		delete(zs.staged, p.gidx)
+	}
+	zs.pend = zs.pend[:0]
+	f.stats.Combines++
+	// The combine runs asynchronously: the controller copies the new
+	// segment into a one-PU SRAM staging buffer, freeing the write buffer
+	// immediately, and performs the read-back + merged program in the
+	// background. Host backpressure still arrives through the chips'
+	// cache-register pipeline, which delays subsequent staging transfers.
+	return at, done, nil
+}
+
+// programPU programs one full unit into the zone's reserved superblock and
+// updates the mapping with zone-linear PSNs, aggregating when boundaries
+// are reached (Fig. 5).
+func (f *FTL) programPU(at sim.Time, zone int, puStart int64, sectors [][]byte) (release, done sim.Time, err error) {
+	if err := f.bindSB(zone); err != nil {
+		return at, at, err
+	}
+	addr, err := f.headLoc(zone, puStart)
+	if err != nil {
+		return at, at, err
+	}
+	payload := mergePayload(sectors, f.geo.ProgramUnit)
+	release, done, err = f.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%f.pagesPerPU, payload)
+	if err != nil {
+		return at, at, err
+	}
+	z, _ := f.zones.Zone(zone)
+	for i := int64(0); i < f.puSectors; i++ {
+		lpa := z.Start + puStart + i
+		if err := f.table.Set(lpa, mapping.PSN(int64(zone)*f.zoneCap+puStart+i)); err != nil {
+			return at, at, err
+		}
+	}
+	f.noteMapUpdates(f.puSectors)
+	f.stats.DirectPUs++
+	f.aggregateAfterWrite(zone, puStart, f.puSectors)
+	return release, done, nil
+}
+
+// stageSectors sends a partial program unit's sectors to the SLC staging
+// region (Fig. 3 ②), recording them as pending for a later combine.
+func (f *FTL) stageSectors(at sim.Time, zone int, off int64, seg [][]byte) (release, done sim.Time, err error) {
+	zs := &f.zstate[zone]
+	z, _ := f.zones.Zone(zone)
+	ws := make([]slc.Write, len(seg))
+	for i := range seg {
+		ws[i] = slc.Write{LPA: z.Start + off + int64(i), Payload: seg[i]}
+	}
+	start := at
+	if !f.staging.HasSpace(int64(len(ws))) {
+		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
+		if err != nil {
+			return at, at, fmt.Errorf("ftl: staging GC: %w", err)
+		}
+		start = d
+	}
+	gidxs, release, done, err := f.staging.Append(start, ws)
+	if err != nil {
+		return at, at, err
+	}
+	if done < start {
+		done = start
+	}
+	for i, g := range gidxs {
+		lpa := z.Start + off + int64(i)
+		if err := f.table.Set(lpa, f.aggLimit+mapping.PSN(g)); err != nil {
+			return at, at, err
+		}
+		zs.staged[g] = struct{}{}
+		if !f.params.DisableCombine {
+			zs.pend = append(zs.pend, pendSector{off: off + int64(i), gidx: g})
+		}
+	}
+	f.noteMapUpdates(int64(len(seg)))
+	f.stats.StagedSectors += int64(len(seg))
+	return release, done, nil
+}
+
+// stageConventional places a conventional zone's run into the SLC region
+// with in-place-update semantics: the previous staged copy of each sector
+// is invalidated, the new copy is page-mapped, and covering cache entries
+// are dropped.
+func (f *FTL) stageConventional(at sim.Time, zone int, startLBA int64, payloads [][]byte) (release, done sim.Time, err error) {
+	zs := &f.zstate[zone]
+	ws := make([]slc.Write, len(payloads))
+	for i := range payloads {
+		ws[i] = slc.Write{LPA: startLBA + int64(i), Payload: payloads[i]}
+	}
+	start := at
+	if !f.staging.HasSpace(int64(len(ws))) {
+		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
+		if err != nil {
+			return at, at, fmt.Errorf("ftl: staging GC: %w", err)
+		}
+		start = d
+	}
+	gidxs, release, done, err := f.staging.Append(start, ws)
+	if err != nil {
+		return at, at, err
+	}
+	if done < start {
+		done = start
+	}
+	for i, g := range gidxs {
+		lpa := startLBA + int64(i)
+		// Invalidate the overwritten copy, if any.
+		if old, ok := f.table.Get(lpa); ok && old >= f.aggLimit {
+			oldIdx := int64(old - f.aggLimit)
+			if f.staging.IsValid(oldIdx) {
+				if err := f.staging.Invalidate(oldIdx); err != nil {
+					return at, at, err
+				}
+			}
+			delete(zs.staged, oldIdx)
+		}
+		if err := f.table.Set(lpa, f.aggLimit+mapping.PSN(g)); err != nil {
+			return at, at, err
+		}
+		f.cache.InvalidateRange(lpa, 1)
+		zs.staged[g] = struct{}{}
+	}
+	f.noteMapUpdates(int64(len(ws)))
+	f.stats.StagedSectors += int64(len(ws))
+	return release, done, nil
+}
+
+// stageTailSectors places alignment-tail sectors (paper §III-E): they are
+// staged to SLC, and as long as the zone's tail forms one contiguous
+// staging run continuing from tailBase, the sectors keep zone-linear PSNs
+// so the whole zone can still aggregate.
+func (f *FTL) stageTailSectors(at sim.Time, zone int, off int64, seg [][]byte) (release, done sim.Time, err error) {
+	zs := &f.zstate[zone]
+	z, _ := f.zones.Zone(zone)
+	ws := make([]slc.Write, len(seg))
+	for i := range seg {
+		ws[i] = slc.Write{LPA: z.Start + off + int64(i), Payload: seg[i]}
+	}
+	start := at
+	if !f.staging.HasSpace(int64(len(ws))) {
+		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
+		if err != nil {
+			return at, at, fmt.Errorf("ftl: staging GC: %w", err)
+		}
+		start = d
+	}
+	gidxs, release, done, err := f.staging.Append(start, ws)
+	if err != nil {
+		return at, at, err
+	}
+	if done < start {
+		done = start
+	}
+
+	// Contiguity: the run must be internally consecutive and continue the
+	// zone's tail base.
+	contig := true
+	for i := 1; i < len(gidxs); i++ {
+		if gidxs[i] != gidxs[0]+int64(i) {
+			contig = false
+			break
+		}
+	}
+	if !zs.tailSet {
+		if off == f.sbSectors && contig {
+			zs.tailBase = gidxs[0]
+			zs.tailSet = true
+			zs.tailContig = true
+		} else {
+			zs.tailContig = false
+		}
+	} else if contig && zs.tailContig && gidxs[0] == zs.tailBase+(off-f.sbSectors) {
+		// Run continues the tail; nothing to update.
+	} else {
+		zs.tailContig = false
+	}
+
+	for i, g := range gidxs {
+		lpa := z.Start + off + int64(i)
+		var psn mapping.PSN
+		if zs.tailSet && zs.tailContig {
+			psn = mapping.PSN(int64(zone)*f.zoneCap + off + int64(i))
+		} else {
+			psn = f.aggLimit + mapping.PSN(g)
+		}
+		if err := f.table.Set(lpa, psn); err != nil {
+			return at, at, err
+		}
+		zs.staged[g] = struct{}{}
+	}
+	f.noteMapUpdates(int64(len(seg)))
+	f.aggregateAfterWrite(zone, off, int64(len(seg)))
+	return release, done, nil
+}
+
+// aggregateAfterWrite tries to widen map entries after [off, off+n) of the
+// zone was written with zone-linear PSNs: any chunk that completed is
+// promoted, and if the zone is fully written and zone aggregation is
+// enabled, the zone entry is promoted (Fig. 5 ②).
+func (f *FTL) aggregateAfterWrite(zone int, off, n int64) {
+	if f.params.DisableAggregation {
+		return
+	}
+	z, _ := f.zones.Zone(zone)
+	chunk := f.params.ChunkSectors
+	firstChunk := off / chunk
+	lastChunk := (off + n - 1) / chunk
+	for c := firstChunk; c <= lastChunk; c++ {
+		lpa := z.Start + c*chunk
+		if (c+1)*chunk <= off+n || f.fullyMapped(lpa, chunk) {
+			wasAgg := f.table.Bits(lpa) >= mapping.Chunk
+			if f.table.TryAggregateChunk(lpa) && !wasAgg && f.params.Search == Pinned {
+				_, g, base, ok := f.table.Effective(lpa)
+				if ok && g == mapping.Chunk {
+					f.cache.Insert(mapping.Chunk, lpa, base, true)
+				}
+			}
+		}
+	}
+	if f.params.AggregateZones && off+n == f.zoneCap {
+		lpa := z.Start
+		wasAgg := f.table.Bits(lpa) == mapping.Zone
+		if f.table.TryAggregateZone(lpa) && !wasAgg && f.params.Search == Pinned {
+			_, g, base, ok := f.table.Effective(lpa)
+			if ok && g == mapping.Zone {
+				f.cache.Insert(mapping.Zone, lpa, base, true)
+			}
+		}
+	}
+}
+
+// fullyMapped reports whether n sectors from lpa are all valid.
+func (f *FTL) fullyMapped(lpa, n int64) bool {
+	for i := int64(0); i < n; i++ {
+		if _, ok := f.table.Get(lpa + i); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mergePayload flattens per-sector payloads into one program-unit buffer.
+// It returns nil when no sector carries data, so the array can skip
+// payload storage entirely.
+func mergePayload(sectors [][]byte, puBytes int64) []byte {
+	any := false
+	for _, s := range sectors {
+		if s != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]byte, puBytes)
+	for i, s := range sectors {
+		if s != nil {
+			copy(out[int64(i)*units.Sector:], s)
+		}
+	}
+	return out
+}
+
+// relocator adapts the FTL to the staging region's GC callback. A staged
+// sector moving from oldIdx to newIdx must be re-pointed in the mapping
+// table; if the sector held a zone-linear tail PSN, the move breaks the
+// deterministic tail translation, so the entry is demoted to a staged PSN
+// and the tail is marked non-contiguous.
+type relocator struct{ f *FTL }
+
+func (r relocator) Relocate(lpa, oldIdx, newIdx int64) error {
+	f := r.f
+	zone := int(lpa / f.zoneCap)
+	if zone < 0 || zone >= f.numZones {
+		return fmt.Errorf("ftl: relocate of LPA %d outside any zone", lpa)
+	}
+	zs := &f.zstate[zone]
+	delete(zs.staged, oldIdx)
+	zs.staged[newIdx] = struct{}{}
+	for i := range zs.pend {
+		if zs.pend[i].gidx == oldIdx {
+			zs.pend[i].gidx = newIdx
+		}
+	}
+	psn, ok := f.table.Get(lpa)
+	if !ok {
+		return fmt.Errorf("ftl: relocate of unmapped LPA %d", lpa)
+	}
+	if psn < f.aggLimit {
+		// Zone-linear tail sector: translation via tailBase no longer
+		// covers it after the move.
+		zs.tailContig = false
+	}
+	if err := f.table.Set(lpa, f.aggLimit+mapping.PSN(newIdx)); err != nil {
+		return err
+	}
+	f.noteMapUpdates(1)
+	f.cache.InvalidateRange(lpa, 1)
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package l2pcache implements the limited volatile L2P cache of a
+// consumer-grade device (paper §III-C). Entries carry three domains —
+// logical address, mapping granularity, physical address — and are stored
+// in hash buckets for fast probing. The cache is byte-budgeted: a 12 KiB
+// cache with 4-byte entries holds 3072 entries regardless of granularity,
+// which is precisely why aggregation pays off.
+//
+// Lookup probes LZA (zone), LCA (chunk) and LPA (page) keys in turn, as the
+// paper's read path does. Eviction is LRU; entries inserted pinned (the
+// PINNED search strategy) are never evicted by capacity pressure, and when
+// a wider entry is inserted the narrower entries it covers are dropped.
+package l2pcache
+
+import (
+	"container/list"
+	"fmt"
+
+	"github.com/conzone/conzone/internal/mapping"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Probes    int64 // individual bucket probes (≥ lookups)
+	Inserts   int64
+	Evictions int64
+	Covered   int64 // entries evicted because a wider entry covered them
+}
+
+type key struct {
+	g    mapping.Gran
+	base int64 // aligned base LPA of the entry
+}
+
+type entry struct {
+	key    key
+	psn    mapping.PSN
+	pinned bool
+}
+
+// Cache is a byte-budgeted, hash-bucketed LRU of L2P entries.
+type Cache struct {
+	capBytes   int64
+	entryBytes int64
+	table      *mapping.Table // for granularity spans
+
+	m     map[key]*list.Element
+	lru   *list.List // front = MRU
+	used  int64      // bytes of unpinned+pinned entries
+	stats Stats
+}
+
+// New builds a cache of capBytes capacity with entryBytes per entry,
+// attached to the table whose granularities it caches.
+func New(capBytes, entryBytes int64, table *mapping.Table) (*Cache, error) {
+	if capBytes <= 0 {
+		return nil, fmt.Errorf("l2pcache: capacity must be positive, got %d", capBytes)
+	}
+	if entryBytes <= 0 {
+		return nil, fmt.Errorf("l2pcache: entry size must be positive, got %d", entryBytes)
+	}
+	if capBytes < entryBytes {
+		return nil, fmt.Errorf("l2pcache: capacity %d below one entry of %d", capBytes, entryBytes)
+	}
+	if table == nil {
+		return nil, fmt.Errorf("l2pcache: nil mapping table")
+	}
+	return &Cache{
+		capBytes:   capBytes,
+		entryBytes: entryBytes,
+		table:      table,
+		m:          make(map[key]*list.Element),
+		lru:        list.New(),
+	}, nil
+}
+
+// Capacity returns the byte budget.
+func (c *Cache) Capacity() int64 { return c.capBytes }
+
+// UsedBytes returns the bytes currently occupied.
+func (c *Cache) UsedBytes() int64 { return c.used }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// MaxEntries returns how many entries fit in the budget.
+func (c *Cache) MaxEntries() int64 { return c.capBytes / c.entryBytes }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) keyFor(g mapping.Gran, lpa int64) key {
+	span := c.table.SectorsOf(g)
+	return key{g: g, base: lpa - lpa%span}
+}
+
+// Lookup translates lpa through the cache, probing zone, chunk and page
+// entries in turn. On a hit the entry becomes MRU and the sector's PSN is
+// returned (entry base PSN plus the offset inside the aggregated run).
+func (c *Cache) Lookup(lpa int64) (mapping.PSN, bool) {
+	for _, g := range []mapping.Gran{mapping.Zone, mapping.Chunk, mapping.Page} {
+		k := c.keyFor(g, lpa)
+		c.stats.Probes++
+		if el, ok := c.m[k]; ok {
+			c.lru.MoveToFront(el)
+			e := el.Value.(*entry)
+			c.stats.Hits++
+			return e.psn + mapping.PSN(lpa-k.base), true
+		}
+	}
+	c.stats.Misses++
+	return mapping.InvalidPSN, false
+}
+
+// Contains reports whether an entry of granularity g covering lpa is cached
+// without touching LRU order or statistics.
+func (c *Cache) Contains(g mapping.Gran, lpa int64) bool {
+	_, ok := c.m[c.keyFor(g, lpa)]
+	return ok
+}
+
+// Insert caches the entry (g, base LPA of lpa, psn of that base). Wider
+// entries evict the narrower entries they cover (the paper's PINNED design:
+// "when the L2P mapping entry with larger mapping range is generated, the
+// covered L2P mapping entries are evicted"). If the budget is exhausted and
+// every resident entry is pinned, an unpinned insert is dropped; pinned
+// inserts always succeed. Returns whether the entry resides in the cache.
+func (c *Cache) Insert(g mapping.Gran, lpa int64, basePSN mapping.PSN, pinned bool) bool {
+	k := c.keyFor(g, lpa)
+	if el, ok := c.m[k]; ok {
+		e := el.Value.(*entry)
+		e.psn = basePSN
+		e.pinned = e.pinned || pinned
+		c.lru.MoveToFront(el)
+		return true
+	}
+	if g != mapping.Page {
+		c.dropCovered(g, k.base)
+	}
+	for c.used+c.entryBytes > c.capBytes {
+		if !c.evictLRU() {
+			if !pinned {
+				return false
+			}
+			break // pinned entries may transiently exceed the budget
+		}
+	}
+	el := c.lru.PushFront(&entry{key: k, psn: basePSN, pinned: pinned})
+	c.m[k] = el
+	c.used += c.entryBytes
+	c.stats.Inserts++
+	return true
+}
+
+// dropCovered removes narrower entries whose span lies inside the new
+// wider entry starting at base.
+func (c *Cache) dropCovered(g mapping.Gran, base int64) {
+	span := c.table.SectorsOf(g)
+	narrower := []mapping.Gran{mapping.Page}
+	if g == mapping.Zone {
+		narrower = append(narrower, mapping.Chunk)
+	}
+	for _, ng := range narrower {
+		nspan := c.table.SectorsOf(ng)
+		for b := base; b < base+span; b += nspan {
+			if el, ok := c.m[key{g: ng, base: b}]; ok {
+				c.remove(el)
+				c.stats.Covered++
+			}
+		}
+	}
+}
+
+// evictLRU removes the least recently used unpinned entry. It reports
+// whether anything was evicted.
+func (c *Cache) evictLRU() bool {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		if !el.Value.(*entry).pinned {
+			c.remove(el)
+			c.stats.Evictions++
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) remove(el *list.Element) {
+	e := el.Value.(*entry)
+	delete(c.m, e.key)
+	c.lru.Remove(el)
+	c.used -= c.entryBytes
+}
+
+// InvalidateRange removes every cached entry overlapping [lpa, lpa+n),
+// regardless of pinning. Zone resets use it.
+func (c *Cache) InvalidateRange(lpa, n int64) {
+	if n <= 0 {
+		return
+	}
+	for _, g := range []mapping.Gran{mapping.Zone, mapping.Chunk, mapping.Page} {
+		span := c.table.SectorsOf(g)
+		first := lpa - lpa%span
+		for b := first; b < lpa+n; b += span {
+			if el, ok := c.m[key{g: g, base: b}]; ok {
+				c.remove(el)
+			}
+		}
+	}
+}
+
+// MissRatio returns misses / lookups observed so far, or 0 when idle.
+func (c *Cache) MissRatio() float64 {
+	total := c.stats.Hits + c.stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.stats.Misses) / float64(total)
+}
+
+// ResetStats zeroes the counters but keeps contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// CheckInvariants verifies the byte accounting and map/list agreement.
+func (c *Cache) CheckInvariants() error {
+	if int64(c.lru.Len())*c.entryBytes != c.used {
+		return fmt.Errorf("l2pcache: used %d != %d entries * %d", c.used, c.lru.Len(), c.entryBytes)
+	}
+	if len(c.m) != c.lru.Len() {
+		return fmt.Errorf("l2pcache: map %d != list %d", len(c.m), c.lru.Len())
+	}
+	unpinnedOver := c.used > c.capBytes
+	if unpinnedOver {
+		// Over budget is legal only if everything resident is pinned.
+		for el := c.lru.Front(); el != nil; el = el.Next() {
+			if !el.Value.(*entry).pinned {
+				return fmt.Errorf("l2pcache: over budget (%d/%d) with unpinned entries", c.used, c.capBytes)
+			}
+		}
+	}
+	return nil
+}

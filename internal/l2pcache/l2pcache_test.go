@@ -1,0 +1,274 @@
+package l2pcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/conzone/conzone/internal/mapping"
+)
+
+// Cache over a table with 4-sector chunks and 16-sector zones.
+func newTestCache(t *testing.T, capBytes int64) (*Cache, *mapping.Table) {
+	t.Helper()
+	tbl, err := mapping.NewTable(mapping.Config{TotalSectors: 64, ChunkSectors: 4, ZoneSectors: 16, AggLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(capBytes, 4, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func TestNewValidation(t *testing.T) {
+	tbl, _ := mapping.NewTable(mapping.Config{TotalSectors: 16, ChunkSectors: 4, ZoneSectors: 16, AggLimit: 10})
+	if _, err := New(0, 4, tbl); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(16, 0, tbl); err == nil {
+		t.Error("zero entry size accepted")
+	}
+	if _, err := New(2, 4, tbl); err == nil {
+		t.Error("capacity below one entry accepted")
+	}
+	if _, err := New(16, 4, nil); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+func TestInsertLookupPage(t *testing.T) {
+	c, _ := newTestCache(t, 16)
+	if !c.Insert(mapping.Page, 5, 123, false) {
+		t.Fatal("insert failed")
+	}
+	psn, ok := c.Lookup(5)
+	if !ok || psn != 123 {
+		t.Errorf("Lookup = %d, %v", psn, ok)
+	}
+	if _, ok := c.Lookup(6); ok {
+		t.Error("unexpected hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLookupAggregatedOffsets(t *testing.T) {
+	c, _ := newTestCache(t, 64)
+	// Chunk entry: LPAs 4..7 map to PSNs 40..43.
+	c.Insert(mapping.Chunk, 6, 40, false) // any LPA inside the chunk works
+	for i := int64(4); i < 8; i++ {
+		psn, ok := c.Lookup(i)
+		if !ok || psn != mapping.PSN(40+i-4) {
+			t.Errorf("Lookup(%d) = %d, %v", i, psn, ok)
+		}
+	}
+	// Zone entry: LPAs 16..31 -> PSNs 160..175.
+	c.Insert(mapping.Zone, 16, 160, false)
+	psn, ok := c.Lookup(31)
+	if !ok || psn != 175 {
+		t.Errorf("zone Lookup = %d, %v", psn, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := newTestCache(t, 12) // 3 entries
+	c.Insert(mapping.Page, 1, 10, false)
+	c.Insert(mapping.Page, 2, 20, false)
+	c.Insert(mapping.Page, 3, 30, false)
+	// Touch 1 so 2 becomes LRU.
+	if _, ok := c.Lookup(1); !ok {
+		t.Fatal("expected hit")
+	}
+	c.Insert(mapping.Page, 9, 90, false) // evicts 2
+	if _, ok := c.Lookup(2); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := c.Lookup(1); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	c, _ := newTestCache(t, 16)
+	c.Insert(mapping.Page, 5, 1, false)
+	c.Insert(mapping.Page, 5, 2, false)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	psn, _ := c.Lookup(5)
+	if psn != 2 {
+		t.Errorf("psn = %d", psn)
+	}
+}
+
+func TestWiderEntryEvictsCovered(t *testing.T) {
+	c, _ := newTestCache(t, 256)
+	// Page entries inside chunk 0 and one outside.
+	c.Insert(mapping.Page, 0, 100, false)
+	c.Insert(mapping.Page, 3, 103, false)
+	c.Insert(mapping.Page, 4, 104, false) // chunk 1, must survive
+	c.Insert(mapping.Chunk, 0, 100, false)
+	if c.Contains(mapping.Page, 0) || c.Contains(mapping.Page, 3) {
+		t.Error("covered page entries not dropped")
+	}
+	if !c.Contains(mapping.Page, 4) {
+		t.Error("uncovered entry dropped")
+	}
+	if c.Stats().Covered != 2 {
+		t.Errorf("covered = %d", c.Stats().Covered)
+	}
+	// Zone insert drops covered chunk entries too.
+	c.Insert(mapping.Chunk, 4, 104, false)
+	c.Insert(mapping.Zone, 0, 100, false)
+	if c.Contains(mapping.Chunk, 0) || c.Contains(mapping.Chunk, 4) {
+		t.Error("covered chunk entries not dropped")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPinnedNeverEvicted(t *testing.T) {
+	c, _ := newTestCache(t, 8) // 2 entries
+	c.Insert(mapping.Chunk, 0, 0, true)
+	c.Insert(mapping.Page, 20, 1, false)
+	c.Insert(mapping.Page, 21, 2, false) // evicts LPA 20, not the pinned chunk
+	if !c.Contains(mapping.Chunk, 0) {
+		t.Error("pinned entry evicted")
+	}
+	if c.Contains(mapping.Page, 20) {
+		t.Error("unpinned LRU survived")
+	}
+}
+
+func TestAllPinnedDropsUnpinnedInsert(t *testing.T) {
+	c, _ := newTestCache(t, 8)
+	c.Insert(mapping.Chunk, 0, 0, true)
+	c.Insert(mapping.Chunk, 4, 4, true)
+	if c.Insert(mapping.Page, 40, 9, false) {
+		t.Error("unpinned insert should be dropped when all residents are pinned")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	// A pinned insert may transiently exceed the budget.
+	if !c.Insert(mapping.Zone, 16, 16, true) {
+		t.Error("pinned insert must succeed")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c, _ := newTestCache(t, 256)
+	c.Insert(mapping.Page, 5, 5, false)
+	c.Insert(mapping.Chunk, 8, 8, true) // pinned entries are removed too
+	c.Insert(mapping.Zone, 16, 16, false)
+	c.Insert(mapping.Page, 40, 40, false) // outside the range
+	c.InvalidateRange(0, 32)
+	if c.Contains(mapping.Page, 5) || c.Contains(mapping.Chunk, 8) || c.Contains(mapping.Zone, 16) {
+		t.Error("entries in range survived invalidation")
+	}
+	if !c.Contains(mapping.Page, 40) {
+		t.Error("entry outside range removed")
+	}
+	c.InvalidateRange(0, 0) // no-op
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidateRangePartialOverlap(t *testing.T) {
+	c, _ := newTestCache(t, 256)
+	c.Insert(mapping.Zone, 0, 0, false)
+	// Range [14,18) overlaps zone entry [0,16).
+	c.InvalidateRange(14, 4)
+	if c.Contains(mapping.Zone, 0) {
+		t.Error("partially overlapped zone entry survived")
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	c, _ := newTestCache(t, 64)
+	if c.MissRatio() != 0 {
+		t.Error("idle ratio should be 0")
+	}
+	c.Insert(mapping.Page, 0, 0, false)
+	c.Lookup(0)
+	c.Lookup(1)
+	if got := c.MissRatio(); got != 0.5 {
+		t.Errorf("MissRatio = %v", got)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestMaxEntries(t *testing.T) {
+	c, _ := newTestCache(t, 12*1024)
+	if c.MaxEntries() != 3072 {
+		t.Errorf("MaxEntries = %d, want 3072 (paper: 12 KiB / 4 B)", c.MaxEntries())
+	}
+	if c.Capacity() != 12*1024 {
+		t.Errorf("Capacity = %d", c.Capacity())
+	}
+}
+
+// Property: random insert/lookup/invalidate sequences never violate byte
+// accounting, and a lookup hit always returns the PSN most recently
+// inserted for the covering entry.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tbl, err := mapping.NewTable(mapping.Config{TotalSectors: 64, ChunkSectors: 4, ZoneSectors: 16, AggLimit: 1000})
+		if err != nil {
+			return false
+		}
+		c, err := New(20, 4, tbl)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			lpa := int64(op % 64)
+			switch (op >> 6) % 4 {
+			case 0:
+				c.Insert(mapping.Page, lpa, mapping.PSN(op), false)
+			case 1:
+				c.Insert(mapping.Chunk, lpa, mapping.PSN(lpa-lpa%4), (op>>8)%7 == 0)
+			case 2:
+				c.Lookup(lpa)
+			case 3:
+				c.InvalidateRange(lpa, int64(op%8))
+			}
+			if c.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeOrderPrefersWider(t *testing.T) {
+	c, _ := newTestCache(t, 64)
+	// Both a zone entry and a conflicting page entry exist; the zone entry
+	// must win because LZA is probed first.
+	c.Insert(mapping.Page, 17, 999, false)
+	c.Insert(mapping.Zone, 16, 160, false) // covers 16..31, drops page 17
+	psn, ok := c.Lookup(17)
+	if !ok || psn != 161 {
+		t.Errorf("Lookup = %d, %v; zone entry should win", psn, ok)
+	}
+}

@@ -1,0 +1,67 @@
+package legacy
+
+import "container/list"
+
+// pageCache is the legacy device's demand-paged L2P cache: a plain LRU set
+// of page-granularity entries. The cache stores presence only — the page
+// table itself is authoritative — because what the timing model needs is
+// whether a translation would have required a flash fetch.
+type pageCache struct {
+	capEntries int64
+	m          map[int64]*list.Element
+	lru        *list.List // front = MRU; values are int64 LPAs
+}
+
+func newPageCache(capEntries int64) *pageCache {
+	if capEntries < 1 {
+		capEntries = 1
+	}
+	return &pageCache{
+		capEntries: capEntries,
+		m:          make(map[int64]*list.Element),
+		lru:        list.New(),
+	}
+}
+
+// lookup reports whether lpa's translation is cached, refreshing its LRU
+// position on a hit.
+func (c *pageCache) lookup(lpa int64) bool {
+	el, ok := c.m[lpa]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	return ok
+}
+
+// insert caches lpa, evicting the LRU entry if needed.
+func (c *pageCache) insert(lpa int64) {
+	if el, ok := c.m[lpa]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for int64(c.lru.Len()) >= c.capEntries {
+		back := c.lru.Back()
+		delete(c.m, back.Value.(int64))
+		c.lru.Remove(back)
+	}
+	c.m[lpa] = c.lru.PushFront(lpa)
+}
+
+// update refreshes a cached translation after the table changed; a missing
+// entry stays missing (writes do not populate the cache).
+func (c *pageCache) update(lpa int64) {
+	if el, ok := c.m[lpa]; ok {
+		c.lru.MoveToFront(el)
+	}
+}
+
+// invalidate drops a cached translation.
+func (c *pageCache) invalidate(lpa int64) {
+	if el, ok := c.m[lpa]; ok {
+		delete(c.m, lpa)
+		c.lru.Remove(el)
+	}
+}
+
+// len returns the resident entry count.
+func (c *pageCache) len() int { return c.lru.Len() }

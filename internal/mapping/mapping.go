@@ -1,0 +1,325 @@
+// Package mapping implements ConZone's hybrid L2P mapping table (paper
+// §III-C, Fig. 5). The FTL keeps a full page-granularity table — one entry
+// per 4 KiB logical sector — and marks runs that became physically
+// contiguous with two reserved "map bits" per entry: page, chunk (4 MiB) or
+// zone aggregation. Aggregated runs can be represented by a single L2P
+// cache entry.
+//
+// Physical locations are abstract physical sector numbers (PSNs) assigned
+// by the FTL in write order, so "physically contiguous" reduces to
+// arithmetic succession, exactly as the paper's reserved-superblock layout
+// guarantees. PSNs at or above the aggregation limit (the SLC staging area)
+// never aggregate, because SLC placement follows the staging write pointer,
+// not the zone offset.
+package mapping
+
+import (
+	"fmt"
+)
+
+// Gran is the aggregation magnitude recorded in an entry's map bits.
+type Gran uint8
+
+// Aggregation levels, in probe order from widest to narrowest.
+const (
+	Page Gran = iota
+	Chunk
+	Zone
+)
+
+// String names the granularity.
+func (g Gran) String() string {
+	switch g {
+	case Page:
+		return "page"
+	case Chunk:
+		return "chunk"
+	case Zone:
+		return "zone"
+	default:
+		return fmt.Sprintf("Gran(%d)", int(g))
+	}
+}
+
+// PSN is an abstract physical sector number assigned by the FTL.
+type PSN int64
+
+// InvalidPSN marks an unmapped logical sector.
+const InvalidPSN PSN = -1
+
+// Table is the page-granularity mapping table with per-entry map bits.
+type Table struct {
+	psn  []PSN
+	bits []Gran
+
+	chunkSectors int64 // logical sectors per chunk (1024 = 4 MiB)
+	zoneSectors  int64 // logical sectors per zone
+	aggLimit     PSN   // PSNs >= aggLimit (SLC/staging space) never aggregate
+}
+
+// Config sizes a table.
+type Config struct {
+	TotalSectors int64 // logical sectors mapped
+	ChunkSectors int64 // sectors per chunk; must divide ZoneSectors
+	ZoneSectors  int64 // sectors per zone; must divide TotalSectors
+	AggLimit     PSN   // first non-aggregatable PSN (start of SLC space)
+}
+
+// NewTable builds an all-invalid table.
+func NewTable(cfg Config) (*Table, error) {
+	if cfg.TotalSectors <= 0 {
+		return nil, fmt.Errorf("mapping: TotalSectors must be positive, got %d", cfg.TotalSectors)
+	}
+	if cfg.ChunkSectors <= 0 || cfg.ZoneSectors <= 0 {
+		return nil, fmt.Errorf("mapping: chunk (%d) and zone (%d) sectors must be positive",
+			cfg.ChunkSectors, cfg.ZoneSectors)
+	}
+	if cfg.ZoneSectors%cfg.ChunkSectors != 0 {
+		return nil, fmt.Errorf("mapping: zone sectors %d not a multiple of chunk sectors %d",
+			cfg.ZoneSectors, cfg.ChunkSectors)
+	}
+	if cfg.TotalSectors%cfg.ZoneSectors != 0 {
+		return nil, fmt.Errorf("mapping: total sectors %d not a multiple of zone sectors %d",
+			cfg.TotalSectors, cfg.ZoneSectors)
+	}
+	if cfg.AggLimit < 0 {
+		return nil, fmt.Errorf("mapping: negative AggLimit %d", cfg.AggLimit)
+	}
+	t := &Table{
+		psn:          make([]PSN, cfg.TotalSectors),
+		bits:         make([]Gran, cfg.TotalSectors),
+		chunkSectors: cfg.ChunkSectors,
+		zoneSectors:  cfg.ZoneSectors,
+		aggLimit:     cfg.AggLimit,
+	}
+	for i := range t.psn {
+		t.psn[i] = InvalidPSN
+	}
+	return t, nil
+}
+
+// TotalSectors returns the logical address space size.
+func (t *Table) TotalSectors() int64 { return int64(len(t.psn)) }
+
+// ChunkSectors returns the aggregation chunk size in sectors.
+func (t *Table) ChunkSectors() int64 { return t.chunkSectors }
+
+// ZoneSectors returns the zone size in sectors.
+func (t *Table) ZoneSectors() int64 { return t.zoneSectors }
+
+func (t *Table) check(lpa int64) error {
+	if lpa < 0 || lpa >= int64(len(t.psn)) {
+		return fmt.Errorf("mapping: LPA %d out of range [0,%d)", lpa, len(t.psn))
+	}
+	return nil
+}
+
+// Set records lpa -> psn at page granularity. If the covering chunk or zone
+// was aggregated, the aggregation is demoted first so map bits always
+// describe the true layout.
+func (t *Table) Set(lpa int64, psn PSN) error {
+	if err := t.check(lpa); err != nil {
+		return err
+	}
+	if psn < 0 {
+		return fmt.Errorf("mapping: Set with invalid PSN %d", psn)
+	}
+	if t.bits[lpa] != Page {
+		t.demote(lpa)
+	}
+	t.psn[lpa] = psn
+	return nil
+}
+
+// Invalidate removes the mapping for lpa, demoting any covering aggregation.
+func (t *Table) Invalidate(lpa int64) error {
+	if err := t.check(lpa); err != nil {
+		return err
+	}
+	if t.bits[lpa] != Page {
+		t.demote(lpa)
+	}
+	t.psn[lpa] = InvalidPSN
+	return nil
+}
+
+// demote clears the aggregation covering lpa down to page granularity.
+func (t *Table) demote(lpa int64) {
+	var base, n int64
+	if t.bits[lpa] == Zone {
+		base = lpa - lpa%t.zoneSectors
+		n = t.zoneSectors
+	} else {
+		base = lpa - lpa%t.chunkSectors
+		n = t.chunkSectors
+	}
+	for i := base; i < base+n; i++ {
+		t.bits[i] = Page
+	}
+}
+
+// Get returns the page-granularity translation of lpa.
+func (t *Table) Get(lpa int64) (PSN, bool) {
+	if t.check(lpa) != nil {
+		return InvalidPSN, false
+	}
+	p := t.psn[lpa]
+	return p, p != InvalidPSN
+}
+
+// Bits returns the map bits of lpa's entry.
+func (t *Table) Bits(lpa int64) Gran {
+	if t.check(lpa) != nil {
+		return Page
+	}
+	return t.bits[lpa]
+}
+
+// aggregatableRun reports whether [base, base+n) is valid, physically
+// consecutive, below the aggregation limit, and starts on an n-aligned
+// physical boundary — the paper's "compare the physical address to the
+// physical chunk/physical zone boundary" test.
+func (t *Table) aggregatableRun(base, n int64) bool {
+	first := t.psn[base]
+	if first == InvalidPSN || first >= t.aggLimit || int64(first)%n != 0 {
+		return false
+	}
+	for i := int64(1); i < n; i++ {
+		if t.psn[base+i] != first+PSN(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TryAggregateChunk promotes the chunk containing lpa to chunk aggregation
+// if its run qualifies. It reports whether the chunk is (now) aggregated at
+// chunk granularity or wider.
+func (t *Table) TryAggregateChunk(lpa int64) bool {
+	if t.check(lpa) != nil {
+		return false
+	}
+	base := lpa - lpa%t.chunkSectors
+	if t.bits[base] >= Chunk {
+		return true
+	}
+	if !t.aggregatableRun(base, t.chunkSectors) {
+		return false
+	}
+	for i := base; i < base+t.chunkSectors; i++ {
+		t.bits[i] = Chunk
+	}
+	return true
+}
+
+// TryAggregateZone promotes the zone containing lpa to zone aggregation if
+// the whole zone's run qualifies. It reports whether the zone is aggregated.
+func (t *Table) TryAggregateZone(lpa int64) bool {
+	if t.check(lpa) != nil {
+		return false
+	}
+	base := lpa - lpa%t.zoneSectors
+	if t.bits[base] == Zone {
+		return true
+	}
+	if !t.aggregatableRun(base, t.zoneSectors) {
+		return false
+	}
+	for i := base; i < base+t.zoneSectors; i++ {
+		t.bits[i] = Zone
+	}
+	return true
+}
+
+// Effective returns the widest valid translation entry covering lpa: the
+// entry's aligned base LPA, its granularity, and the base PSN. This is what
+// a BITMAP-strategy fetch loads into the L2P cache with one flash read.
+func (t *Table) Effective(lpa int64) (baseLPA int64, g Gran, base PSN, ok bool) {
+	if t.check(lpa) != nil {
+		return 0, Page, InvalidPSN, false
+	}
+	if t.psn[lpa] == InvalidPSN {
+		return lpa, Page, InvalidPSN, false
+	}
+	switch t.bits[lpa] {
+	case Zone:
+		baseLPA = lpa - lpa%t.zoneSectors
+		return baseLPA, Zone, t.psn[baseLPA], true
+	case Chunk:
+		baseLPA = lpa - lpa%t.chunkSectors
+		return baseLPA, Chunk, t.psn[baseLPA], true
+	default:
+		return lpa, Page, t.psn[lpa], true
+	}
+}
+
+// SectorsOf returns the sectors covered by one entry of granularity g.
+func (t *Table) SectorsOf(g Gran) int64 {
+	switch g {
+	case Zone:
+		return t.zoneSectors
+	case Chunk:
+		return t.chunkSectors
+	default:
+		return 1
+	}
+}
+
+// InvalidateZone clears every mapping of the zone containing lpa and resets
+// the map bits, as a zone reset does.
+func (t *Table) InvalidateZone(lpa int64) error {
+	if err := t.check(lpa); err != nil {
+		return err
+	}
+	base := lpa - lpa%t.zoneSectors
+	for i := base; i < base+t.zoneSectors; i++ {
+		t.psn[i] = InvalidPSN
+		t.bits[i] = Page
+	}
+	return nil
+}
+
+// ValidCount returns the number of valid entries (test/diagnostic helper).
+func (t *Table) ValidCount() int64 {
+	var n int64
+	for _, p := range t.psn {
+		if p != InvalidPSN {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies internal consistency: aggregated regions are
+// uniformly marked and their runs really are contiguous and aligned. It
+// returns the first violation found, or nil. Tests call this after random
+// operation sequences.
+func (t *Table) CheckInvariants() error {
+	for base := int64(0); base < int64(len(t.psn)); base += t.chunkSectors {
+		g := t.bits[base]
+		n := t.chunkSectors
+		if g == Zone {
+			n = t.zoneSectors
+			if base%t.zoneSectors != 0 {
+				// Zone marks are checked from the zone base; interior
+				// chunks are validated there.
+				if t.bits[base-base%t.zoneSectors] != Zone {
+					return fmt.Errorf("mapping: chunk %d marked zone but zone base is not", base)
+				}
+				continue
+			}
+		}
+		if g == Page {
+			continue
+		}
+		for i := base; i < base+n; i++ {
+			if t.bits[i] != g {
+				return fmt.Errorf("mapping: non-uniform bits in run at %d (gran %v)", base, g)
+			}
+		}
+		if !t.aggregatableRun(base, n) {
+			return fmt.Errorf("mapping: run at %d marked %v but not contiguous/aligned", base, g)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package nand
+
+import (
+	"fmt"
+
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
+)
+
+// blockState tracks the NAND-physics state of one per-chip block: how far
+// it has been programmed (blocks are append-only between erases) and how
+// often it has been erased.
+type blockState struct {
+	nextSector int // next programmable sector offset within the block
+	eraseCount int64
+}
+
+// Counters accumulates raw media activity for reporting and WAF accounting.
+type Counters struct {
+	PageReads       int64 // page sense operations
+	PUPrograms      int64 // full program-unit operations on normal media
+	PartialPrograms int64 // 4 KiB partial programs on SLC
+	PageProgramsSLC int64 // whole-page SLC program operations
+	MapPrograms     int64 // L2P-log flushes into the map region
+	Erases          int64
+	BytesRead       int64 // payload bytes transferred to the host side
+	BytesProgrammed int64 // payload bytes programmed into media
+}
+
+// Array is the flash media model: per-chip and per-channel timing resources
+// plus programmed-state and payload storage.
+type Array struct {
+	geo      Geometry
+	lat      LatencyTable
+	engine   *sim.Engine
+	chips    []*sim.Resource
+	channels []*sim.Resource
+	blocks   [][]blockState // [chip][block]
+	payload  [][]byte       // per linear sector; nil = no stored payload
+	written  []bool         // per linear sector; programmed at least once since erase
+	counters Counters
+
+	// lastProgStart models each chip's cache register (cache-program
+	// pipeline): a data transfer for program n+1 may begin once program n
+	// has moved its data out of the register, i.e. once program n has
+	// started. This bounds the program pipeline at one in-flight transfer
+	// per chip without serialising transfers behind tPROG.
+	lastProgStart []sim.Time
+}
+
+// NewArray builds an array for a validated geometry and latency table.
+func NewArray(geo Geometry, lat LatencyTable, engine *sim.Engine) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		engine = sim.NewEngine()
+	}
+	a := &Array{geo: geo, lat: lat, engine: engine}
+	for c := 0; c < geo.Channels; c++ {
+		a.channels = append(a.channels, engine.NewResource(fmt.Sprintf("chan%d", c)))
+	}
+	for c := 0; c < geo.Chips(); c++ {
+		a.chips = append(a.chips, engine.NewResource(fmt.Sprintf("chip%d", c)))
+	}
+	a.blocks = make([][]blockState, geo.Chips())
+	for c := range a.blocks {
+		a.blocks[c] = make([]blockState, geo.BlocksPerChip)
+	}
+	n := geo.TotalSectors()
+	a.payload = make([][]byte, n)
+	a.written = make([]bool, n)
+	a.lastProgStart = make([]sim.Time, geo.Chips())
+	return a, nil
+}
+
+// Geometry returns the array's geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Latencies returns the timing table in use.
+func (a *Array) Latencies() LatencyTable { return a.lat }
+
+// Engine returns the simulation engine the array reserves time on.
+func (a *Array) Engine() *sim.Engine { return a.engine }
+
+// Counters returns a snapshot of the media activity counters.
+func (a *Array) Counters() Counters { return a.counters }
+
+// EraseCount returns how many times the given per-chip block was erased.
+func (a *Array) EraseCount(chip, block int) int64 {
+	return a.blocks[chip][block].eraseCount
+}
+
+func (a *Array) checkAddr(chip, block int) error {
+	if chip < 0 || chip >= a.geo.Chips() {
+		return fmt.Errorf("nand: chip %d out of range [0,%d)", chip, a.geo.Chips())
+	}
+	if block < 0 || block >= a.geo.BlocksPerChip {
+		return fmt.Errorf("nand: block %d out of range [0,%d)", block, a.geo.BlocksPerChip)
+	}
+	return nil
+}
+
+func (a *Array) chanOf(chip int) *sim.Resource {
+	return a.channels[a.geo.ChannelOf(chip)]
+}
+
+// transfer reserves the chip's channel for moving n payload bytes starting
+// no earlier than 'ready' and returns the transfer completion time.
+func (a *Array) transfer(ready sim.Time, chip int, n int64) sim.Time {
+	d := units.TransferTime(n, a.geo.ChannelMiBps)
+	_, end := a.chanOf(chip).Reserve(ready, d)
+	return end
+}
+
+// ReadPage senses one page and transfers xferBytes of it to the controller.
+// xferBytes may be less than the page size when only some sectors are
+// needed; the sense still costs the full tR. It returns the completion time.
+func (a *Array) ReadPage(at sim.Time, chip, block, page int, xferBytes int64) (sim.Time, error) {
+	if err := a.checkAddr(chip, block); err != nil {
+		return at, err
+	}
+	if page < 0 || page >= a.geo.PagesIn(block) {
+		return at, fmt.Errorf("nand: page %d out of range [0,%d) in %v block", page, a.geo.PagesIn(block), a.geo.MediaOf(block))
+	}
+	if xferBytes < 0 || xferBytes > a.geo.PageSize {
+		return at, fmt.Errorf("nand: transfer %d outside page of %d bytes", xferBytes, a.geo.PageSize)
+	}
+	lat := a.lat.For(a.geo.MediaOf(block))
+	_, senseEnd := a.chips[chip].Reserve(at, lat.Read)
+	done := a.transfer(senseEnd, chip, xferBytes)
+	a.counters.PageReads++
+	a.counters.BytesRead += xferBytes
+	a.engine.Observe(done)
+	return done, nil
+}
+
+// ChargeMapRead models fetching one L2P mapping entry group from the map
+// region of a chip: a page sense in SLC mode plus the transfer of a single
+// mapping sector. It exists so the FTL can account translation-table reads
+// without mutating block state (the paper defers map persistence to future
+// work, §III-E).
+func (a *Array) ChargeMapRead(at sim.Time, chip int) (sim.Time, error) {
+	if chip < 0 || chip >= a.geo.Chips() {
+		return at, fmt.Errorf("nand: chip %d out of range", chip)
+	}
+	lat := a.lat.For(SLCMode)
+	_, senseEnd := a.chips[chip].Reserve(at, lat.Read)
+	done := a.transfer(senseEnd, chip, units.Sector)
+	a.counters.PageReads++
+	a.counters.BytesRead += units.Sector
+	a.engine.Observe(done)
+	return done, nil
+}
+
+// ProgramPU programs one full program unit (geo.ProgramUnit bytes spanning
+// PagesPerPU pages) on a normal-media block, starting at startPage. The
+// payload, if non-nil, must be exactly ProgramUnit bytes; nil programs
+// unrecorded payload (used by workloads that do not verify data).
+// Programming must continue where the block left off (NAND pages are
+// written in order), and the block must cover the full unit.
+//
+// Two instants are returned: release, when the data has been transferred
+// into the chip's page register (the source buffer may be reused), and
+// done, when the program operation finishes. The transfer waits for both
+// the channel and the chip's register (a chip mid-program cannot accept
+// data), which is what creates write-path backpressure.
+func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, payload []byte) (release, done sim.Time, err error) {
+	if err := a.checkAddr(chip, block); err != nil {
+		return at, at, err
+	}
+	media := a.geo.MediaOf(block)
+	if media == SLCMode {
+		return at, at, fmt.Errorf("nand: ProgramPU on SLC-mode block %d", block)
+	}
+	ppu := a.geo.PagesPerPU()
+	if startPage%ppu != 0 || startPage+ppu > a.geo.PagesPerBlock {
+		return at, at, fmt.Errorf("nand: PU at page %d not aligned or out of block", startPage)
+	}
+	if payload != nil && int64(len(payload)) != a.geo.ProgramUnit {
+		return at, at, fmt.Errorf("nand: PU payload %d bytes, want %d", len(payload), a.geo.ProgramUnit)
+	}
+	bs := &a.blocks[chip][block]
+	spp := a.geo.SectorsPerPage()
+	startSector := startPage * spp
+	if bs.nextSector != startSector {
+		return at, at, fmt.Errorf("nand: out-of-order program: block %d/%d expects sector %d, got %d",
+			chip, block, bs.nextSector, startSector)
+	}
+	lat := a.lat.For(media)
+	// The chip's cache register must be free before data can stream in:
+	// it frees when the previous program starts.
+	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.ProgramUnit)
+	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	a.lastProgStart[chip] = progStart
+
+	nsect := int(a.geo.ProgramUnit / units.Sector)
+	base := a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: startPage})
+	for i := 0; i < nsect; i++ {
+		idx := int64(base) + int64(i)
+		a.written[idx] = true
+		if payload != nil {
+			a.payload[idx] = append([]byte(nil), payload[int64(i)*units.Sector:int64(i+1)*units.Sector]...)
+		} else {
+			a.payload[idx] = nil
+		}
+	}
+	bs.nextSector = startSector + nsect
+
+	a.counters.PUPrograms++
+	a.counters.BytesProgrammed += a.geo.ProgramUnit
+	a.engine.Observe(progEnd)
+	return xferEnd, progEnd, nil
+}
+
+// ProgramSLCSector partially programs one 4 KiB sector of an SLC-mode page
+// (paper §II-A: "flash pages of single-level flash cells can be programmed
+// partially with a programming unit of 4KiB"). Sectors within a block must
+// be programmed in order.
+func (a *Array) ProgramSLCSector(at sim.Time, chip, block, page, sector int, payload []byte) (release, done sim.Time, err error) {
+	if err := a.checkAddr(chip, block); err != nil {
+		return at, at, err
+	}
+	if a.geo.MediaOf(block) != SLCMode {
+		return at, at, fmt.Errorf("nand: partial program on non-SLC block %d", block)
+	}
+	if page < 0 || page >= a.geo.SLCPagesPerBlock {
+		return at, at, fmt.Errorf("nand: page %d out of SLC block range [0,%d)", page, a.geo.SLCPagesPerBlock)
+	}
+	spp := a.geo.SectorsPerPage()
+	if sector < 0 || sector >= spp {
+		return at, at, fmt.Errorf("nand: sector %d out of page range [0,%d)", sector, spp)
+	}
+	if payload != nil && int64(len(payload)) != units.Sector {
+		return at, at, fmt.Errorf("nand: SLC partial payload %d bytes, want %d", len(payload), units.Sector)
+	}
+	bs := &a.blocks[chip][block]
+	lin := page*spp + sector
+	if bs.nextSector != lin {
+		return at, at, fmt.Errorf("nand: out-of-order partial program: block %d/%d expects sector %d, got %d",
+			chip, block, bs.nextSector, lin)
+	}
+	lat := a.lat.For(SLCMode)
+	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, units.Sector)
+	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	a.lastProgStart[chip] = progStart
+
+	idx := int64(a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: page, Sector: sector}))
+	a.written[idx] = true
+	if payload != nil {
+		a.payload[idx] = append([]byte(nil), payload...)
+	} else {
+		a.payload[idx] = nil
+	}
+	bs.nextSector = lin + 1
+
+	a.counters.PartialPrograms++
+	a.counters.BytesProgrammed += units.Sector
+	a.engine.Observe(progEnd)
+	return xferEnd, progEnd, nil
+}
+
+// ChargeMapProgram models persisting one L2P-log page into the map region:
+// a page transfer plus an SLC-mode program on the given chip. Like
+// ChargeMapRead it is timing-only — the map region's content is kept in
+// host memory by the FTL (the paper defers real map persistence layout to
+// future work, §III-E), but the bus/die time and the blocking it causes
+// are real.
+func (a *Array) ChargeMapProgram(at sim.Time, chip int) (sim.Time, error) {
+	if chip < 0 || chip >= a.geo.Chips() {
+		return at, fmt.Errorf("nand: chip %d out of range", chip)
+	}
+	lat := a.lat.For(SLCMode)
+	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.PageSize)
+	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	a.lastProgStart[chip] = progStart
+	a.counters.MapPrograms++
+	a.counters.BytesProgrammed += a.geo.PageSize
+	a.engine.Observe(progEnd)
+	return progEnd, nil
+}
+
+// ProgramSLCPage programs one whole SLC-mode page (all sectors) in a
+// single program operation. Staging layers use it when a full page of data
+// is available: one tPROG covers the page, which is why aggregating evicted
+// buffer data at page granularity is so much cheaper than 4 KiB partials.
+// The page must be the block's next unprogrammed one.
+func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, payload []byte) (release, done sim.Time, err error) {
+	if err := a.checkAddr(chip, block); err != nil {
+		return at, at, err
+	}
+	if a.geo.MediaOf(block) != SLCMode {
+		return at, at, fmt.Errorf("nand: SLC page program on non-SLC block %d", block)
+	}
+	if page < 0 || page >= a.geo.SLCPagesPerBlock {
+		return at, at, fmt.Errorf("nand: page %d out of SLC block range [0,%d)", page, a.geo.SLCPagesPerBlock)
+	}
+	if payload != nil && int64(len(payload)) != a.geo.PageSize {
+		return at, at, fmt.Errorf("nand: SLC page payload %d bytes, want %d", len(payload), a.geo.PageSize)
+	}
+	spp := a.geo.SectorsPerPage()
+	bs := &a.blocks[chip][block]
+	if bs.nextSector != page*spp {
+		return at, at, fmt.Errorf("nand: out-of-order page program: block %d/%d expects sector %d, got %d",
+			chip, block, bs.nextSector, page*spp)
+	}
+	lat := a.lat.For(SLCMode)
+	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.PageSize)
+	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	a.lastProgStart[chip] = progStart
+
+	base := a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: page})
+	for s := 0; s < spp; s++ {
+		idx := int64(base) + int64(s)
+		a.written[idx] = true
+		if payload != nil {
+			a.payload[idx] = append([]byte(nil), payload[int64(s)*units.Sector:int64(s+1)*units.Sector]...)
+		} else {
+			a.payload[idx] = nil
+		}
+	}
+	bs.nextSector = (page + 1) * spp
+
+	a.counters.PageProgramsSLC++
+	a.counters.BytesProgrammed += a.geo.PageSize
+	a.engine.Observe(progEnd)
+	return xferEnd, progEnd, nil
+}
+
+// Erase erases one per-chip block, clearing programmed state and payloads.
+func (a *Array) Erase(at sim.Time, chip, block int) (sim.Time, error) {
+	if err := a.checkAddr(chip, block); err != nil {
+		return at, err
+	}
+	lat := a.lat.For(a.geo.MediaOf(block))
+	_, end := a.chips[chip].Reserve(at, lat.Erase)
+	bs := &a.blocks[chip][block]
+	bs.nextSector = 0
+	bs.eraseCount++
+	spp := a.geo.SectorsPerPage()
+	base := int64(a.geo.PPAOf(Addr{Chip: chip, Block: block}))
+	n := int64(a.geo.maxPagesPerBlock() * spp)
+	for i := int64(0); i < n; i++ {
+		a.payload[base+i] = nil
+		a.written[base+i] = false
+	}
+	a.counters.Erases++
+	a.engine.Observe(end)
+	return end, nil
+}
+
+// IsWritten reports whether the sector at ppa has been programmed since the
+// last erase of its block.
+func (a *Array) IsWritten(ppa PPA) bool {
+	if ppa < 0 || int64(ppa) >= int64(len(a.written)) {
+		return false
+	}
+	return a.written[ppa]
+}
+
+// Payload returns the stored bytes of one written sector, or nil when the
+// sector was programmed without a recorded payload. The returned slice must
+// not be modified.
+func (a *Array) Payload(ppa PPA) []byte {
+	if ppa < 0 || int64(ppa) >= int64(len(a.payload)) {
+		return nil
+	}
+	return a.payload[ppa]
+}
+
+// NextProgramSector returns the block's append point (linear sector offset
+// within the block), used by allocators to validate their own state.
+func (a *Array) NextProgramSector(chip, block int) int {
+	return a.blocks[chip][block].nextSector
+}

@@ -1,0 +1,65 @@
+package nand
+
+import (
+	"fmt"
+	"time"
+)
+
+// Latency holds the per-operation media latencies of one cell type.
+type Latency struct {
+	Read    time.Duration // tR: page sense into the chip's cache register
+	Program time.Duration // tPROG: one program operation (full PU or partial)
+	Erase   time.Duration // tBERS: block erase
+}
+
+// LatencyTable maps each media type to its latencies. It is the
+// programmable part of the paper's "extended timing model" (§III-B):
+// users can "configure access latency of different media".
+type LatencyTable struct {
+	SLC Latency
+	TLC Latency
+	QLC Latency
+}
+
+// DefaultLatencies returns the paper's Table II values. Erase latencies are
+// not part of Table II; the defaults below follow the ISSCC sources the
+// paper cites (3.5 ms SLC-mode, 5 ms TLC, 10 ms QLC).
+func DefaultLatencies() LatencyTable {
+	return LatencyTable{
+		SLC: Latency{Read: 20 * time.Microsecond, Program: 75 * time.Microsecond, Erase: 3500 * time.Microsecond},
+		TLC: Latency{Read: 32 * time.Microsecond, Program: 937500 * time.Nanosecond, Erase: 5 * time.Millisecond},
+		QLC: Latency{Read: 85 * time.Microsecond, Program: 6400 * time.Microsecond, Erase: 10 * time.Millisecond},
+	}
+}
+
+// For returns the latencies of a media type.
+func (t LatencyTable) For(m Media) Latency {
+	switch m {
+	case SLCMode:
+		return t.SLC
+	case TLC:
+		return t.TLC
+	case QLC:
+		return t.QLC
+	default:
+		panic(fmt.Sprintf("nand: no latency entry for %v", m))
+	}
+}
+
+// Validate rejects non-positive latencies, which would break the
+// discrete-event model's monotonicity.
+func (t LatencyTable) Validate() error {
+	check := func(name string, l Latency) error {
+		if l.Read <= 0 || l.Program <= 0 || l.Erase <= 0 {
+			return fmt.Errorf("nand: %s latencies must be positive: %+v", name, l)
+		}
+		return nil
+	}
+	if err := check("SLC", t.SLC); err != nil {
+		return err
+	}
+	if err := check("TLC", t.TLC); err != nil {
+		return err
+	}
+	return check("QLC", t.QLC)
+}

@@ -1,0 +1,506 @@
+// Package slc manages the SLC-mode block region that consumer zoned flash
+// storage uses as a secondary write buffer (paper §II-A, §III-B). Premature
+// write-buffer flushes land here through 4 KiB partial programming; data is
+// later combined back into full programming units of the normal area, or
+// migrated by the region's garbage collector.
+//
+// The region owns a set of SLC superblocks (the same per-chip block index
+// across all chips). Writes append at a single write pointer that stripes
+// consecutive 4 KiB sectors across chips, so per-chip programming stays
+// in order while all channels work in parallel. Every staged sector is
+// identified by a stable linear index (superblock * capacity + position)
+// that upper layers embed in their physical sector numbers.
+package slc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
+)
+
+// ErrNoSpace reports that an append cannot be satisfied without garbage
+// collection (or at all).
+var ErrNoSpace = errors.New("slc: no free staging space")
+
+// Write is one staged sector: its logical address (kept as the reverse map
+// for GC) and an optional 4 KiB payload.
+type Write struct {
+	LPA     int64
+	Payload []byte
+}
+
+// Stats counts region activity.
+type Stats struct {
+	Staged      int64 // sectors appended by callers
+	Migrated    int64 // sectors moved by GC
+	Invalidated int64
+	Collections int64 // GC cycles completed
+	Erased      int64 // superblocks erased
+}
+
+type superblock struct {
+	validCount int
+	valid      []bool
+	lpa        []int64
+	inFree     bool
+}
+
+// Region is the SLC staging area allocator and validity tracker.
+type Region struct {
+	arr    *nand.Array
+	blocks []int // per-chip block indices owned by the region, ascending
+	sbCap  int64 // sectors per superblock
+	chips  int
+	spp    int // sectors per page
+
+	sbs  []superblock
+	free []int // free superblock ids, FIFO
+	cur  int   // currently written superblock id, -1 when unbound
+	pos  int64 // next linear sector inside cur
+
+	stats Stats
+}
+
+// NewRegion builds a region over the given per-chip block indices, which
+// must all be SLC-mode blocks of the array. At least two superblocks are
+// required: one to write and one as the GC migration reserve.
+func NewRegion(arr *nand.Array, blocks []int) (*Region, error) {
+	if arr == nil {
+		return nil, fmt.Errorf("slc: nil array")
+	}
+	if len(blocks) < 2 {
+		return nil, fmt.Errorf("slc: need at least 2 superblocks, got %d", len(blocks))
+	}
+	g := arr.Geometry()
+	seen := make(map[int]bool)
+	for _, b := range blocks {
+		if b < 0 || b >= g.BlocksPerChip {
+			return nil, fmt.Errorf("slc: block %d out of range", b)
+		}
+		if g.MediaOf(b) != nand.SLCMode {
+			return nil, fmt.Errorf("slc: block %d is not SLC-mode", b)
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("slc: duplicate block %d", b)
+		}
+		seen[b] = true
+	}
+	r := &Region{
+		arr:    arr,
+		blocks: append([]int(nil), blocks...),
+		sbCap:  int64(g.Chips()) * int64(g.SLCPagesPerBlock) * int64(g.SectorsPerPage()),
+		chips:  g.Chips(),
+		spp:    g.SectorsPerPage(),
+		cur:    -1,
+	}
+	r.sbs = make([]superblock, len(blocks))
+	for i := range r.sbs {
+		r.sbs[i] = superblock{
+			valid:  make([]bool, r.sbCap),
+			lpa:    make([]int64, r.sbCap),
+			inFree: true,
+		}
+		r.free = append(r.free, i)
+	}
+	return r, nil
+}
+
+// SuperblockCount returns the number of superblocks the region owns.
+func (r *Region) SuperblockCount() int { return len(r.sbs) }
+
+// SectorsPerSuperblock returns the staging capacity of one superblock.
+func (r *Region) SectorsPerSuperblock() int64 { return r.sbCap }
+
+// TotalSectors returns the linear index space size.
+func (r *Region) TotalSectors() int64 { return int64(len(r.sbs)) * r.sbCap }
+
+// FreeSuperblocks returns how many superblocks are on the free list.
+func (r *Region) FreeSuperblocks() int { return len(r.free) }
+
+// Stats returns a snapshot of activity counters.
+func (r *Region) Stats() Stats { return r.stats }
+
+// remaining returns writable sectors without consuming a free superblock.
+func (r *Region) remaining() int64 {
+	if r.cur < 0 {
+		return 0
+	}
+	return r.sbCap - r.pos
+}
+
+// HasSpace reports whether n sectors can be appended using the current
+// superblock plus the free list, keeping one free superblock in reserve for
+// GC migration.
+func (r *Region) HasSpace(n int64) bool {
+	return r.available(false) >= n
+}
+
+// available returns the appendable sector count. Normal appends keep one
+// free superblock in reserve for GC migration; the collector itself may
+// consume the reserve.
+func (r *Region) available(useReserve bool) int64 {
+	frees := int64(len(r.free))
+	if !useReserve && frees > 0 {
+		frees--
+	}
+	return r.remaining() + frees*r.sbCap
+}
+
+// AddrOf converts a linear staging index to its physical location. The
+// layout is page-major: consecutive indices fill one flash page (so whole
+// pages can be programmed with a single tPROG), and consecutive pages
+// stripe across chips for parallelism.
+func (r *Region) AddrOf(idx int64) (nand.Addr, error) {
+	if idx < 0 || idx >= r.TotalSectors() {
+		return nand.Addr{}, fmt.Errorf("slc: index %d out of range [0,%d)", idx, r.TotalSectors())
+	}
+	sb := int(idx / r.sbCap)
+	pos := idx % r.sbCap
+	page := int(pos) / r.spp // page-major index within the superblock
+	return nand.Addr{
+		Chip:   page % r.chips,
+		Block:  r.blocks[sb],
+		Page:   page / r.chips,
+		Sector: int(pos) % r.spp,
+	}, nil
+}
+
+// bind attaches the write pointer to the next free superblock.
+func (r *Region) bind() error {
+	if len(r.free) == 0 {
+		return ErrNoSpace
+	}
+	r.cur = r.free[0]
+	r.free = r.free[1:]
+	r.sbs[r.cur].inFree = false
+	r.pos = 0
+	return nil
+}
+
+// Append stages the given sectors at the write pointer through 4 KiB
+// partial programs, one per sector, striped across chips. It returns the
+// linear index of each staged sector and the virtual completion time of the
+// slowest program. Callers must check HasSpace (and garbage collect) first;
+// Append fails rather than consume the GC reserve... unless the region is
+// collecting, in which case reserveOK is set by the collector.
+func (r *Region) Append(at sim.Time, ws []Write) (idxs []int64, release, done sim.Time, err error) {
+	return r.append(at, ws, false)
+}
+
+func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.Time, sim.Time, error) {
+	if len(ws) == 0 {
+		return nil, at, at, nil
+	}
+	need := int64(len(ws))
+	if r.available(useReserve) < need {
+		return nil, at, at, ErrNoSpace
+	}
+	for _, w := range ws {
+		if w.Payload != nil && int64(len(w.Payload)) != units.Sector {
+			return nil, at, at, fmt.Errorf("slc: payload must be %d bytes, got %d", units.Sector, len(w.Payload))
+		}
+	}
+	idxs := make([]int64, 0, len(ws))
+	release := at
+	done := at
+	spp := int64(r.spp)
+	for i := 0; i < len(ws); {
+		if r.cur < 0 || r.pos == r.sbCap {
+			if err := r.bind(); err != nil {
+				return nil, at, at, err
+			}
+		}
+		addr, err := r.AddrOf(int64(r.cur)*r.sbCap + r.pos)
+		if err != nil {
+			return nil, at, at, err
+		}
+		remaining := int64(len(ws) - i)
+		var rel, end sim.Time
+		var took int64
+		if addr.Sector == 0 && remaining >= spp {
+			// A whole page of data starting at a page boundary: one
+			// full-page program covers all its sectors.
+			payload := mergePagePayload(ws[i:i+int(spp)], r.arr.Geometry().PageSize)
+			rel, end, err = r.arr.ProgramSLCPage(at, addr.Chip, addr.Block, addr.Page, payload)
+			took = spp
+		} else {
+			// Sub-page tail or unaligned start: 4 KiB partial program.
+			rel, end, err = r.arr.ProgramSLCSector(at, addr.Chip, addr.Block, addr.Page, addr.Sector, ws[i].Payload)
+			took = 1
+		}
+		if err != nil {
+			return nil, at, at, fmt.Errorf("slc: program at %+v: %w", addr, err)
+		}
+		if rel > release {
+			release = rel
+		}
+		if end > done {
+			done = end
+		}
+		sb := &r.sbs[r.cur]
+		for k := int64(0); k < took; k++ {
+			idx := int64(r.cur)*r.sbCap + r.pos
+			sb.valid[r.pos] = true
+			sb.lpa[r.pos] = ws[i+int(k)].LPA
+			sb.validCount++
+			r.pos++
+			idxs = append(idxs, idx)
+		}
+		i += int(took)
+	}
+	r.stats.Staged += int64(len(ws))
+	return idxs, release, done, nil
+}
+
+// mergePagePayload flattens one page's worth of sector payloads, or nil
+// when none carries data.
+func mergePagePayload(ws []Write, pageSize int64) []byte {
+	any := false
+	for _, w := range ws {
+		if w.Payload != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]byte, pageSize)
+	for i, w := range ws {
+		if w.Payload != nil {
+			copy(out[int64(i)*units.Sector:], w.Payload)
+		}
+	}
+	return out
+}
+
+// Invalidate marks a staged sector dead (combined into the normal area, or
+// its zone was reset). Invalidating an already-dead sector is an error —
+// it would corrupt the valid count.
+func (r *Region) Invalidate(idx int64) error {
+	sb, pos, err := r.locate(idx)
+	if err != nil {
+		return err
+	}
+	if !r.sbs[sb].valid[pos] {
+		return fmt.Errorf("slc: double invalidate of index %d", idx)
+	}
+	r.sbs[sb].valid[pos] = false
+	r.sbs[sb].validCount--
+	r.stats.Invalidated++
+	return nil
+}
+
+// IsValid reports whether the staged sector at idx is live.
+func (r *Region) IsValid(idx int64) bool {
+	sb, pos, err := r.locate(idx)
+	if err != nil {
+		return false
+	}
+	return r.sbs[sb].valid[pos]
+}
+
+// LPAAt returns the reverse-mapped logical address of a live staged sector.
+func (r *Region) LPAAt(idx int64) (int64, error) {
+	sb, pos, err := r.locate(idx)
+	if err != nil {
+		return 0, err
+	}
+	if !r.sbs[sb].valid[pos] {
+		return 0, fmt.Errorf("slc: index %d is not valid", idx)
+	}
+	return r.sbs[sb].lpa[pos], nil
+}
+
+func (r *Region) locate(idx int64) (int, int64, error) {
+	if idx < 0 || idx >= r.TotalSectors() {
+		return 0, 0, fmt.Errorf("slc: index %d out of range", idx)
+	}
+	return int(idx / r.sbCap), idx % r.sbCap, nil
+}
+
+// ValidCount returns the live sectors in a superblock.
+func (r *Region) ValidCount(sb int) int {
+	if sb < 0 || sb >= len(r.sbs) {
+		return 0
+	}
+	return r.sbs[sb].validCount
+}
+
+// Payload returns the stored bytes of a staged sector (nil when the write
+// carried no payload).
+func (r *Region) Payload(idx int64) []byte {
+	addr, err := r.AddrOf(idx)
+	if err != nil {
+		return nil
+	}
+	return r.arr.Payload(r.arr.Geometry().PPAOf(addr))
+}
+
+// ReadSectors charges the flash reads needed to fetch the given staged
+// sectors: one SLC page sense per distinct page plus the transfer of the
+// requested sectors. It returns the completion time of the slowest read.
+func (r *Region) ReadSectors(at sim.Time, idxs []int64) (sim.Time, error) {
+	type pageKey struct{ chip, block, page int }
+	pages := make(map[pageKey]int64)
+	for _, idx := range idxs {
+		a, err := r.AddrOf(idx)
+		if err != nil {
+			return at, err
+		}
+		pages[pageKey{a.Chip, a.Block, a.Page}] += units.Sector
+	}
+	done := at
+	for pk, bytes := range pages {
+		end, err := r.arr.ReadPage(at, pk.chip, pk.block, pk.page, bytes)
+		if err != nil {
+			return at, err
+		}
+		if end > done {
+			done = end
+		}
+	}
+	return done, nil
+}
+
+// Victim returns the id of the best GC victim: the non-free, non-current
+// superblock with the fewest valid sectors that has been written. Returns
+// -1 when no victim exists.
+func (r *Region) Victim() int {
+	best, bestValid := -1, int(r.sbCap)+1
+	for i := range r.sbs {
+		if r.sbs[i].inFree || i == r.cur {
+			continue
+		}
+		if r.sbs[i].validCount < bestValid {
+			best, bestValid = i, r.sbs[i].validCount
+		}
+	}
+	return best
+}
+
+// Relocator receives mapping updates during garbage collection: the staged
+// sector for lpa moved from linear index old to linear index new.
+type Relocator interface {
+	Relocate(lpa, oldIdx, newIdx int64) error
+}
+
+// Collect garbage-collects one victim superblock: reads its live sectors,
+// re-appends them (using the GC reserve), informs the relocator, erases the
+// victim's blocks on every chip, and returns the superblock to the free
+// list (paper §III-D, "full GC process"). It returns the completion time.
+func (r *Region) Collect(at sim.Time, victim int, rel Relocator) (sim.Time, error) {
+	if victim < 0 || victim >= len(r.sbs) {
+		return at, fmt.Errorf("slc: victim %d out of range", victim)
+	}
+	if victim == r.cur {
+		return at, fmt.Errorf("slc: cannot collect the open superblock %d", victim)
+	}
+	if r.sbs[victim].inFree {
+		return at, fmt.Errorf("slc: victim %d is already free", victim)
+	}
+	sb := &r.sbs[victim]
+	done := at
+
+	// Move valid sectors, if any.
+	var moves []int64
+	for pos := int64(0); pos < r.sbCap; pos++ {
+		if sb.valid[pos] {
+			moves = append(moves, int64(victim)*r.sbCap+pos)
+		}
+	}
+	if len(moves) > 0 {
+		readDone, err := r.ReadSectors(at, moves)
+		if err != nil {
+			return at, err
+		}
+		ws := make([]Write, 0, len(moves))
+		for _, idx := range moves {
+			pos := idx % r.sbCap
+			ws = append(ws, Write{LPA: sb.lpa[pos], Payload: r.Payload(idx)})
+		}
+		newIdxs, _, progDone, err := r.append(readDone, ws, true)
+		if err != nil {
+			return at, fmt.Errorf("slc: GC migration: %w", err)
+		}
+		for i, idx := range moves {
+			pos := idx % r.sbCap
+			if rel != nil {
+				if err := rel.Relocate(sb.lpa[pos], idx, newIdxs[i]); err != nil {
+					return at, fmt.Errorf("slc: relocate: %w", err)
+				}
+			}
+			sb.valid[pos] = false
+			sb.validCount--
+		}
+		r.stats.Migrated += int64(len(moves))
+		done = progDone
+	}
+
+	// Erase the victim's block on every chip.
+	for chip := 0; chip < r.chips; chip++ {
+		end, err := r.arr.Erase(done, chip, r.blocks[victim])
+		if err != nil {
+			return at, err
+		}
+		if end > done {
+			done = end
+		}
+	}
+	for pos := range sb.valid {
+		sb.valid[pos] = false
+	}
+	sb.validCount = 0
+	sb.inFree = true
+	r.free = append(r.free, victim)
+	r.stats.Collections++
+	r.stats.Erased++
+	return done, nil
+}
+
+// EnsureSpace garbage-collects until n sectors fit (per HasSpace's reserve
+// rule) or no further progress is possible.
+func (r *Region) EnsureSpace(at sim.Time, n int64, rel Relocator) (sim.Time, error) {
+	for !r.HasSpace(n) {
+		v := r.Victim()
+		if v < 0 {
+			return at, ErrNoSpace
+		}
+		if r.sbs[v].validCount == int(r.sbCap) {
+			// Even the best victim is fully valid: collecting it migrates
+			// exactly as much as it frees, so no progress is possible.
+			return at, ErrNoSpace
+		}
+		done, err := r.Collect(at, v, rel)
+		if err != nil {
+			return at, err
+		}
+		at = done
+	}
+	return at, nil
+}
+
+// CheckInvariants validates internal accounting (used by tests).
+func (r *Region) CheckInvariants() error {
+	for i := range r.sbs {
+		n := 0
+		for _, v := range r.sbs[i].valid {
+			if v {
+				n++
+			}
+		}
+		if n != r.sbs[i].validCount {
+			return fmt.Errorf("slc: sb %d valid count %d != recount %d", i, r.sbs[i].validCount, n)
+		}
+		if r.sbs[i].inFree && n != 0 {
+			return fmt.Errorf("slc: free sb %d has %d valid sectors", i, n)
+		}
+	}
+	if r.cur >= 0 && r.sbs[r.cur].inFree {
+		return fmt.Errorf("slc: current sb %d is on the free list", r.cur)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+// Package stats provides the measurement primitives used across the
+// emulator: latency histograms with percentile queries, throughput
+// accumulators, and a write-amplification tracker.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// Histogram records durations in logarithmically spaced buckets with linear
+// sub-buckets, HDR-histogram style. It supports percentile estimation with
+// bounded relative error and exact tracking of min/max/sum.
+type Histogram struct {
+	// buckets[i][j]: major bucket i covers [2^i us, 2^(i+1) us) split into
+	// subBuckets linear sub-buckets; bucket 0 covers [0, 1us).
+	counts [][]int64
+	total  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	majorBuckets = 40 // covers up to ~2^39 us, far beyond any simulated latency
+	subBuckets   = 32
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{counts: make([][]int64, majorBuckets)}
+	for i := range h.counts {
+		h.counts[i] = make([]int64, subBuckets)
+	}
+	h.min = math.MaxInt64
+	return h
+}
+
+func bucketOf(d time.Duration) (int, int) {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0, 0
+	}
+	// Major bucket m >= 1 covers [2^(m-1), 2^m) microseconds.
+	major := bits.Len64(uint64(us))
+	if major > majorBuckets-1 {
+		major = majorBuckets - 1
+	}
+	lo := int64(1) << uint(major-1)
+	span := lo // width of the major bucket
+	sub := int((us - lo) * subBuckets / span)
+	if sub >= subBuckets {
+		sub = subBuckets - 1
+	}
+	if sub < 0 {
+		sub = 0
+	}
+	return major, sub
+}
+
+// valueOf returns a representative duration (upper edge) for a bucket pair.
+func valueOf(major, sub int) time.Duration {
+	if major == 0 {
+		return time.Microsecond
+	}
+	lo := int64(1) << uint(major-1)
+	span := lo
+	us := lo + span*int64(sub+1)/subBuckets
+	return time.Duration(us) * time.Microsecond
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	major, sub := bucketOf(d)
+	h.counts[major][sub]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the average observation, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Percentile returns an upper-bound estimate of the p-th percentile
+// (0 < p <= 100). Returns 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	var seen int64
+	for i := range h.counts {
+		for j, c := range h.counts[i] {
+			seen += c
+			if seen >= rank {
+				v := valueOf(i, j)
+				if v > h.max {
+					v = h.max
+				}
+				return v
+			}
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		for j, c := range o.counts[i] {
+			h.counts[i][j] += c
+		}
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.total > 0 && o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		for j := range h.counts[i] {
+			h.counts[i][j] = 0
+		}
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Summary is a fixed snapshot of the usual reporting quantiles.
+type Summary struct {
+	Count               int64
+	Mean, Min, Max      time.Duration
+	P50, P95, P99, P999 time.Duration
+}
+
+// Summarize captures the reporting quantiles in one pass-friendly struct.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.total,
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+	}
+}
+
+// String renders the summary in fio-like form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v p99.9=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50, s.P95, s.P99, s.P999, s.Max.Round(time.Microsecond))
+}
+
+// WAFTracker accumulates host-written and media-written byte counts and
+// reports the write-amplification factor. Media bytes include every program
+// operation: direct flushes, SLC staging, SLC→normal combines, GC
+// migrations, and alignment padding.
+type WAFTracker struct {
+	HostBytes int64
+	NANDBytes int64
+}
+
+// AddHost records bytes accepted from the host.
+func (w *WAFTracker) AddHost(n int64) { w.HostBytes += n }
+
+// AddNAND records bytes programmed to flash media.
+func (w *WAFTracker) AddNAND(n int64) { w.NANDBytes += n }
+
+// WAF returns NAND/host, or 0 if nothing was written by the host.
+func (w *WAFTracker) WAF() float64 {
+	if w.HostBytes == 0 {
+		return 0
+	}
+	return float64(w.NANDBytes) / float64(w.HostBytes)
+}
+
+// Reset zeroes the tracker.
+func (w *WAFTracker) Reset() { *w = WAFTracker{} }
+
+// Counter is a named monotonically increasing counter.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// CounterSet is an ordered collection of named counters, used for device
+// statistic dumps that should print in a stable order.
+type CounterSet struct {
+	order []string
+	vals  map[string]int64
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{vals: make(map[string]int64)}
+}
+
+// Add increments the named counter, creating it on first use.
+func (c *CounterSet) Add(name string, delta int64) {
+	if _, ok := c.vals[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.vals[name] += delta
+}
+
+// Get returns the counter value (0 if absent).
+func (c *CounterSet) Get(name string) int64 { return c.vals[name] }
+
+// Snapshot returns the counters in insertion order.
+func (c *CounterSet) Snapshot() []Counter {
+	out := make([]Counter, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, Counter{Name: n, Value: c.vals[n]})
+	}
+	return out
+}
+
+// SortedSnapshot returns the counters sorted by name.
+func (c *CounterSet) SortedSnapshot() []Counter {
+	out := c.Snapshot()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reset zeroes every counter but keeps the name registry.
+func (c *CounterSet) Reset() {
+	for k := range c.vals {
+		c.vals[k] = 0
+	}
+}

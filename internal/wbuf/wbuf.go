@@ -1,0 +1,200 @@
+// Package wbuf models the limited volatile write buffers of consumer-grade
+// zoned flash storage (paper §II-B, §III-B). A device has only a few
+// buffers — ConZone's reference configuration has two of one superpage
+// (384 KiB) each — shared by all open zones through modulo mapping:
+// buffer(zone) = zone mod nbuf. When the host switches to a zone whose
+// buffer is occupied by another zone, the occupant's data must be flushed
+// prematurely, which is the central write-path pathology the paper studies
+// (Fig. 6(b)).
+//
+// The manager only holds and hands back data; flush routing (direct program
+// vs SLC staging vs combine) is the FTL's job.
+package wbuf
+
+import (
+	"fmt"
+
+	"github.com/conzone/conzone/internal/units"
+)
+
+// Flush is the content evicted or drained from one buffer: a contiguous
+// run of sectors belonging to a single zone.
+type Flush struct {
+	Zone     int
+	StartLBA int64    // first logical sector of the run
+	Payloads [][]byte // one per sector; entries may be nil
+}
+
+// Sectors returns the run length.
+func (f *Flush) Sectors() int64 { return int64(len(f.Payloads)) }
+
+// Stats counts buffer events. The FTL interprets Premature flushes.
+type Stats struct {
+	Appended  int64 // sectors accepted into buffers
+	FullDrain int64 // flushes because a buffer reached capacity
+	Evictions int64 // flushes because another zone claimed the buffer
+	TakeDrain int64 // explicit drains (sync/close/finish)
+}
+
+type buffer struct {
+	zone     int // -1 when empty
+	startLBA int64
+	payloads [][]byte
+}
+
+// Manager owns the device's write buffers.
+type Manager struct {
+	bufs  []buffer
+	cap   int64 // sectors per buffer (one superpage)
+	stats Stats
+}
+
+// New builds a manager with nbuf buffers of capSectors each.
+func New(nbuf int, capSectors int64) (*Manager, error) {
+	if nbuf <= 0 {
+		return nil, fmt.Errorf("wbuf: need at least one buffer, got %d", nbuf)
+	}
+	if capSectors <= 0 {
+		return nil, fmt.Errorf("wbuf: capacity must be positive, got %d sectors", capSectors)
+	}
+	m := &Manager{bufs: make([]buffer, nbuf), cap: capSectors}
+	for i := range m.bufs {
+		m.bufs[i].zone = -1
+	}
+	return m, nil
+}
+
+// NumBuffers returns the buffer count.
+func (m *Manager) NumBuffers() int { return len(m.bufs) }
+
+// CapacitySectors returns the per-buffer capacity.
+func (m *Manager) CapacitySectors() int64 { return m.cap }
+
+// Stats returns a snapshot of the event counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// BufferIndex returns which buffer serves a zone (paper: "taking the modulo
+// of the zone index with the total number of write buffers").
+func (m *Manager) BufferIndex(zone int) int {
+	if zone < 0 {
+		return -1
+	}
+	return zone % len(m.bufs)
+}
+
+// Occupant returns the zone currently holding data in zone's buffer, or -1
+// when the buffer is empty. A conflict exists when the occupant is a
+// different zone.
+func (m *Manager) Occupant(zone int) int {
+	i := m.BufferIndex(zone)
+	if i < 0 || len(m.bufs[i].payloads) == 0 {
+		return -1
+	}
+	return m.bufs[i].zone
+}
+
+// Evict removes and returns the conflicting occupant's data so the FTL can
+// flush it prematurely. It returns nil when there is no conflict.
+func (m *Manager) Evict(zone int) *Flush {
+	occ := m.Occupant(zone)
+	if occ < 0 || occ == zone {
+		return nil
+	}
+	m.stats.Evictions++
+	return m.drain(m.BufferIndex(zone))
+}
+
+func (m *Manager) drain(i int) *Flush {
+	b := &m.bufs[i]
+	f := &Flush{Zone: b.zone, StartLBA: b.startLBA, Payloads: b.payloads}
+	b.zone = -1
+	b.payloads = nil
+	b.startLBA = 0
+	return f
+}
+
+// Append adds sectors of one zone's sequential write into its buffer and
+// returns the full-buffer flushes this produces, in order. The caller must
+// have resolved any conflict with Evict first. Within a zone, appends must
+// be logically contiguous (ZNS guarantees writes at the write pointer).
+func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, error) {
+	if zone < 0 {
+		return nil, fmt.Errorf("wbuf: negative zone %d", zone)
+	}
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	for _, p := range payloads {
+		if p != nil && int64(len(p)) != units.Sector {
+			return nil, fmt.Errorf("wbuf: payload must be %d bytes, got %d", units.Sector, len(p))
+		}
+	}
+	i := m.BufferIndex(zone)
+	b := &m.bufs[i]
+	if len(b.payloads) > 0 {
+		if b.zone != zone {
+			return nil, fmt.Errorf("wbuf: buffer %d occupied by zone %d; evict before writing zone %d",
+				i, b.zone, zone)
+		}
+		if lba != b.startLBA+int64(len(b.payloads)) {
+			return nil, fmt.Errorf("wbuf: zone %d append at %d, buffered run ends at %d",
+				zone, lba, b.startLBA+int64(len(b.payloads)))
+		}
+	} else {
+		b.zone = zone
+		b.startLBA = lba
+	}
+
+	var out []*Flush
+	for _, p := range payloads {
+		b.payloads = append(b.payloads, p)
+		m.stats.Appended++
+		if int64(len(b.payloads)) == m.cap {
+			m.stats.FullDrain++
+			f := m.drain(i)
+			out = append(out, f)
+			// Subsequent sectors of this call continue the run.
+			b.zone = zone
+			b.startLBA = f.StartLBA + int64(len(f.Payloads))
+		}
+	}
+	if len(b.payloads) == 0 {
+		b.zone = -1
+		b.startLBA = 0
+	}
+	return out, nil
+}
+
+// Take drains the zone's buffered data for an explicit flush (synchronous
+// write completion, zone finish/close, device flush). Returns nil when the
+// zone has nothing buffered.
+func (m *Manager) Take(zone int) *Flush {
+	occ := m.Occupant(zone)
+	if occ != zone {
+		return nil
+	}
+	m.stats.TakeDrain++
+	return m.drain(m.BufferIndex(zone))
+}
+
+// Buffered returns the run currently buffered for the zone (start LBA and
+// sector count); sectors == 0 when nothing is buffered.
+func (m *Manager) Buffered(zone int) (startLBA, sectors int64) {
+	occ := m.Occupant(zone)
+	if occ != zone {
+		return 0, 0
+	}
+	b := &m.bufs[m.BufferIndex(zone)]
+	return b.startLBA, int64(len(b.payloads))
+}
+
+// ReadSector serves a read hit from the buffer: the payload of the sector
+// at lba if it is currently buffered for the zone. The second result is
+// false when the sector is not in the buffer.
+func (m *Manager) ReadSector(zone int, lba int64) ([]byte, bool) {
+	start, n := m.Buffered(zone)
+	if n == 0 || lba < start || lba >= start+n {
+		return nil, false
+	}
+	return m.bufs[m.BufferIndex(zone)].payloads[lba-start], true
+}

@@ -1,0 +1,262 @@
+package wbuf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/conzone/conzone/internal/units"
+)
+
+func sector(b byte) []byte { return bytes.Repeat([]byte{b}, int(units.Sector)) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 96); err == nil {
+		t.Error("zero buffers accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	m, err := New(2, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumBuffers() != 2 || m.CapacitySectors() != 96 {
+		t.Error("dimensions wrong")
+	}
+}
+
+func TestBufferIndexModulo(t *testing.T) {
+	m, _ := New(2, 96)
+	// Paper: zone -> buffer by modulo; same-parity zones share a buffer.
+	if m.BufferIndex(0) != 0 || m.BufferIndex(2) != 0 || m.BufferIndex(1) != 1 || m.BufferIndex(3) != 1 {
+		t.Error("modulo mapping wrong")
+	}
+	if m.BufferIndex(-1) != -1 {
+		t.Error("negative zone should map to -1")
+	}
+}
+
+func TestAppendAndOccupant(t *testing.T) {
+	m, _ := New(2, 4)
+	if m.Occupant(0) != -1 {
+		t.Error("fresh buffer occupied")
+	}
+	flushes, err := m.Append(0, 100, [][]byte{sector(1), sector(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushes != nil {
+		t.Errorf("unexpected flushes: %v", flushes)
+	}
+	if m.Occupant(0) != 0 || m.Occupant(2) != 0 {
+		t.Error("occupant wrong")
+	}
+	start, n := m.Buffered(0)
+	if start != 100 || n != 2 {
+		t.Errorf("Buffered = %d, %d", start, n)
+	}
+	if m.Stats().Appended != 2 {
+		t.Error("append not counted")
+	}
+}
+
+func TestAppendContiguityEnforced(t *testing.T) {
+	m, _ := New(2, 8)
+	if _, err := m.Append(0, 0, [][]byte{nil}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(0, 5, [][]byte{nil}); err == nil {
+		t.Error("discontiguous append accepted")
+	}
+	if _, err := m.Append(0, 1, [][]byte{nil}); err != nil {
+		t.Errorf("contiguous append rejected: %v", err)
+	}
+}
+
+func TestAppendRejectsConflict(t *testing.T) {
+	m, _ := New(2, 8)
+	if _, err := m.Append(0, 0, [][]byte{nil}); err != nil {
+		t.Fatal(err)
+	}
+	// Zone 2 shares buffer 0; without eviction the append must fail.
+	if _, err := m.Append(2, 1000, [][]byte{nil}); err == nil {
+		t.Error("conflicting append accepted")
+	}
+}
+
+func TestAppendRejectsBadArgs(t *testing.T) {
+	m, _ := New(2, 8)
+	if _, err := m.Append(-1, 0, [][]byte{nil}); err == nil {
+		t.Error("negative zone accepted")
+	}
+	if _, err := m.Append(0, 0, [][]byte{{1, 2, 3}}); err == nil {
+		t.Error("short payload accepted")
+	}
+	if f, err := m.Append(0, 0, nil); err != nil || f != nil {
+		t.Error("empty append should be a no-op")
+	}
+}
+
+func TestFullBufferFlushes(t *testing.T) {
+	m, _ := New(2, 4)
+	flushes, err := m.Append(1, 50, [][]byte{sector(1), sector(2), sector(3), sector(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushes) != 1 {
+		t.Fatalf("flushes = %d", len(flushes))
+	}
+	f := flushes[0]
+	if f.Zone != 1 || f.StartLBA != 50 || f.Sectors() != 4 {
+		t.Errorf("flush = %+v", f)
+	}
+	if !bytes.Equal(f.Payloads[2], sector(3)) {
+		t.Error("payload order wrong")
+	}
+	if _, n := m.Buffered(1); n != 0 {
+		t.Error("buffer not drained after full flush")
+	}
+	if m.Stats().FullDrain != 1 {
+		t.Error("full drain not counted")
+	}
+}
+
+func TestLargeAppendEmitsMultipleFlushes(t *testing.T) {
+	m, _ := New(2, 4)
+	payloads := make([][]byte, 10) // 2.5 buffers
+	flushes, err := m.Append(0, 0, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushes) != 2 {
+		t.Fatalf("flushes = %d", len(flushes))
+	}
+	if flushes[0].StartLBA != 0 || flushes[1].StartLBA != 4 {
+		t.Errorf("flush starts = %d, %d", flushes[0].StartLBA, flushes[1].StartLBA)
+	}
+	start, n := m.Buffered(0)
+	if start != 8 || n != 2 {
+		t.Errorf("tail buffered = %d, %d", start, n)
+	}
+}
+
+func TestEvictConflict(t *testing.T) {
+	m, _ := New(2, 8)
+	if _, err := m.Append(0, 10, [][]byte{sector(7), sector(8)}); err != nil {
+		t.Fatal(err)
+	}
+	// No conflict for the same zone or the other buffer.
+	if f := m.Evict(0); f != nil {
+		t.Error("self-eviction happened")
+	}
+	if f := m.Evict(1); f != nil {
+		t.Error("eviction from empty buffer")
+	}
+	// Zone 2 conflicts with zone 0.
+	f := m.Evict(2)
+	if f == nil || f.Zone != 0 || f.StartLBA != 10 || f.Sectors() != 2 {
+		t.Fatalf("eviction = %+v", f)
+	}
+	if !bytes.Equal(f.Payloads[1], sector(8)) {
+		t.Error("evicted payload wrong")
+	}
+	if m.Occupant(0) != -1 {
+		t.Error("buffer not empty after eviction")
+	}
+	if m.Stats().Evictions != 1 {
+		t.Error("eviction not counted")
+	}
+	// Now zone 2 can append.
+	if _, err := m.Append(2, 1000, [][]byte{nil}); err != nil {
+		t.Errorf("append after evict: %v", err)
+	}
+}
+
+func TestTake(t *testing.T) {
+	m, _ := New(2, 8)
+	if f := m.Take(0); f != nil {
+		t.Error("take from empty buffer")
+	}
+	_, _ = m.Append(0, 0, [][]byte{sector(1)})
+	f := m.Take(0)
+	if f == nil || f.Zone != 0 || f.Sectors() != 1 {
+		t.Fatalf("take = %+v", f)
+	}
+	if m.Stats().TakeDrain != 1 {
+		t.Error("take not counted")
+	}
+	// Take for a zone that shares the buffer but is not the occupant.
+	_, _ = m.Append(1, 500, [][]byte{nil})
+	if f := m.Take(3); f != nil {
+		t.Error("take stole another zone's data")
+	}
+}
+
+func TestReadSector(t *testing.T) {
+	m, _ := New(2, 8)
+	_, _ = m.Append(0, 100, [][]byte{sector(9), sector(10)})
+	p, ok := m.ReadSector(0, 101)
+	if !ok || !bytes.Equal(p, sector(10)) {
+		t.Error("buffered read failed")
+	}
+	if _, ok := m.ReadSector(0, 99); ok {
+		t.Error("read before run hit")
+	}
+	if _, ok := m.ReadSector(0, 102); ok {
+		t.Error("read after run hit")
+	}
+	if _, ok := m.ReadSector(2, 100); ok {
+		t.Error("read of other zone hit")
+	}
+}
+
+// Property: any interleaving of appends (with eviction on conflict), takes,
+// and full drains conserves sectors: appended == flushed + buffered.
+func TestConservationProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, err := New(2, 4)
+		if err != nil {
+			return false
+		}
+		wp := make(map[int]int64) // per-zone next lba (zone-local)
+		var flushed int64
+		for _, op := range ops {
+			zone := int(op % 4)
+			switch (op >> 4) % 3 {
+			case 0, 1: // write 1-3 sectors
+				n := int64(op%3) + 1
+				if f := m.Evict(zone); f != nil {
+					flushed += f.Sectors()
+				}
+				lba := int64(zone)*1000 + wp[zone]
+				fs, err := m.Append(zone, lba, make([][]byte, n))
+				if err != nil {
+					return false
+				}
+				for _, f := range fs {
+					flushed += f.Sectors()
+				}
+				wp[zone] += n
+			case 2:
+				if f := m.Take(zone); f != nil {
+					flushed += f.Sectors()
+				}
+			}
+			var buffered int64
+			for z := 0; z < 4; z++ {
+				if m.Occupant(z) == z {
+					_, n := m.Buffered(z)
+					buffered += n
+				}
+			}
+			if m.Stats().Appended != flushed+buffered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package workload is the emulator's FIO analogue: it drives a device
+// model with multi-threaded micro-benchmark jobs in virtual time and
+// collects bandwidth, IOPS and latency distributions. Threads are virtual:
+// a deterministic event loop issues the operation of whichever thread has
+// the earliest clock, so results are exactly reproducible.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/stats"
+	"github.com/conzone/conzone/internal/units"
+)
+
+// Device is the surface a workload drives. ConZone, Legacy and FEMU
+// devices all implement it.
+type Device interface {
+	Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
+	Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error)
+	FlushAll(at sim.Time) (sim.Time, error)
+	TotalSectors() int64
+}
+
+// Zoned is the optional zoned-device surface.
+type Zoned interface {
+	Device
+	ResetZone(at sim.Time, zone int) (sim.Time, error)
+	NumZones() int
+	ZoneCapSectors() int64
+}
+
+// ZoneFlusher lets sync-write jobs flush a single zone.
+type ZoneFlusher interface {
+	Flush(at sim.Time, zone int) (sim.Time, error)
+}
+
+// Pattern is the access pattern of a job.
+type Pattern int
+
+// Supported patterns, mirroring fio's rw= values.
+const (
+	SeqWrite Pattern = iota
+	SeqRead
+	RandRead
+	RandWrite
+)
+
+// String names the pattern as fio would.
+func (p Pattern) String() string {
+	switch p {
+	case SeqWrite:
+		return "write"
+	case SeqRead:
+		return "read"
+	case RandRead:
+		return "randread"
+	case RandWrite:
+		return "randwrite"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// IsWrite reports whether the pattern issues writes.
+func (p Pattern) IsWrite() bool { return p == SeqWrite || p == RandWrite }
+
+// Job describes one micro-benchmark, fio-style.
+type Job struct {
+	Name       string
+	Pattern    Pattern
+	BlockBytes int64 // bs
+	NumJobs    int   // virtual threads
+
+	// Target region [OffsetBytes, OffsetBytes+RangeBytes). Sequential jobs
+	// split the region between threads (fio offset_increment) unless
+	// ThreadOffsets pins each thread's start explicitly.
+	OffsetBytes   int64
+	RangeBytes    int64
+	ThreadOffsets []int64
+
+	TotalBytesPerJob int64 // I/O volume per thread
+
+	// PerOpOverhead models the host-side cost of issuing one I/O
+	// (syscall + memcpy). It paces virtual threads so that concurrent
+	// writers interleave as real FIO threads do.
+	PerOpOverhead time.Duration
+
+	// SyncWrites flushes the written zone after every write (O_SYNC), the
+	// consumer-device behaviour the paper highlights.
+	SyncWrites bool
+
+	WithData   bool // carry real payloads
+	FlushAtEnd bool
+	Seed       uint64
+	StartAt    sim.Time
+}
+
+// Validate rejects inconsistent jobs.
+func (j *Job) Validate(dev Device) error {
+	total := dev.TotalSectors() * units.Sector
+	switch {
+	case j.BlockBytes <= 0 || j.BlockBytes%units.Sector != 0:
+		return fmt.Errorf("workload: block size %d must be a positive multiple of %d", j.BlockBytes, units.Sector)
+	case j.NumJobs <= 0:
+		return fmt.Errorf("workload: NumJobs must be positive, got %d", j.NumJobs)
+	case j.OffsetBytes < 0 || j.OffsetBytes%units.Sector != 0:
+		return fmt.Errorf("workload: bad offset %d", j.OffsetBytes)
+	case j.RangeBytes <= 0 || j.RangeBytes%units.Sector != 0:
+		return fmt.Errorf("workload: bad range %d", j.RangeBytes)
+	case j.OffsetBytes+j.RangeBytes > total:
+		return fmt.Errorf("workload: region [%d,%d) exceeds device capacity %d",
+			j.OffsetBytes, j.OffsetBytes+j.RangeBytes, total)
+	case j.TotalBytesPerJob <= 0 || j.TotalBytesPerJob%j.BlockBytes != 0:
+		return fmt.Errorf("workload: per-thread volume %d must be a positive multiple of bs %d",
+			j.TotalBytesPerJob, j.BlockBytes)
+	case j.RangeBytes < j.BlockBytes:
+		return fmt.Errorf("workload: range %d below block size %d", j.RangeBytes, j.BlockBytes)
+	case len(j.ThreadOffsets) > 0 && len(j.ThreadOffsets) != j.NumJobs:
+		return fmt.Errorf("workload: %d thread offsets for %d jobs", len(j.ThreadOffsets), j.NumJobs)
+	case j.PerOpOverhead < 0:
+		return fmt.Errorf("workload: negative per-op overhead")
+	}
+	return nil
+}
+
+// Result summarises a finished job.
+type Result struct {
+	Job     string
+	Threads int
+	Bytes   int64
+	Ops     int64
+	Elapsed time.Duration // virtual time from StartAt to the last completion
+
+	BandwidthMiBps float64
+	IOPS           float64
+	Lat            stats.Summary
+}
+
+// KIOPS returns IOPS in thousands, as the paper's Figs. 7-8 report.
+func (r Result) KIOPS() float64 { return r.IOPS / 1000 }
+
+// String renders the result fio-style.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: jobs=%d bw=%.1fMiB/s iops=%.0f elapsed=%v lat{%v}",
+		r.Job, r.Threads, r.BandwidthMiBps, r.IOPS, r.Elapsed.Round(time.Microsecond), r.Lat)
+}
+
+type thread struct {
+	now       sim.Time
+	issued    int64 // bytes
+	seqPos    int64 // next byte offset for sequential patterns
+	seqStart  int64 // slice start
+	seqEnd    int64 // slice end (exclusive)
+	rng       *sim.Rand
+	doneAtSim sim.Time
+}
+
+// Run executes the job against the device and returns its result.
+func Run(dev Device, job Job) (Result, error) {
+	if err := job.Validate(dev); err != nil {
+		return Result{}, err
+	}
+	var zoneBytes int64
+	if z, ok := dev.(Zoned); ok {
+		zoneBytes = z.ZoneCapSectors() * units.Sector
+	}
+	threads := make([]*thread, job.NumJobs)
+	for i := range threads {
+		th := &thread{now: job.StartAt, rng: sim.NewRand(job.Seed + uint64(i)*7919 + 1)}
+		if len(job.ThreadOffsets) > 0 {
+			th.seqStart = job.ThreadOffsets[i]
+			th.seqEnd = job.OffsetBytes + job.RangeBytes
+		} else {
+			slice := job.RangeBytes / int64(job.NumJobs)
+			if job.Pattern == SeqWrite && zoneBytes > 0 {
+				// Zoned sequential writers must start at a zone's write
+				// pointer, so thread slices are zone-aligned (as fio's
+				// zonemode=zbd job splitting requires); boundary clamping
+				// keeps every write inside its zone.
+				slice = units.AlignDown(slice, zoneBytes)
+			} else {
+				slice = units.AlignDown(slice, job.BlockBytes)
+			}
+			if slice < job.BlockBytes {
+				return Result{}, fmt.Errorf("workload: range too small to split across %d jobs", job.NumJobs)
+			}
+			th.seqStart = job.OffsetBytes + int64(i)*slice
+			th.seqEnd = th.seqStart + slice
+		}
+		if th.seqStart%units.Sector != 0 {
+			return Result{}, fmt.Errorf("workload: thread %d offset %d unaligned", i, th.seqStart)
+		}
+		th.seqPos = th.seqStart
+		threads[i] = th
+	}
+
+	lat := stats.NewHistogram()
+	var totalOps, totalBytes int64
+	var zdev Zoned
+	if z, ok := dev.(Zoned); ok {
+		zdev = z
+	}
+	zf, _ := dev.(ZoneFlusher)
+
+	for {
+		// Pick the unfinished thread with the earliest clock.
+		ti := -1
+		for i, th := range threads {
+			if th.issued >= job.TotalBytesPerJob {
+				continue
+			}
+			if ti < 0 || th.now < threads[ti].now {
+				ti = i
+			}
+		}
+		if ti < 0 {
+			break
+		}
+		th := threads[ti]
+		submit := th.now
+
+		var lba int64
+		opBytes := job.BlockBytes
+		switch job.Pattern {
+		case SeqWrite, SeqRead:
+			if th.seqPos+job.BlockBytes > th.seqEnd {
+				th.seqPos = th.seqStart // wrap, as fio loops
+			}
+			lba = th.seqPos / units.Sector
+			// Clamp at zone boundaries, as fio's zonemode=zbd does: a ZNS
+			// operation must not cross into the next zone.
+			if zdev != nil {
+				zb := zdev.ZoneCapSectors() * units.Sector
+				pos := th.seqPos
+				if boundary := pos - pos%zb + zb; pos+opBytes > boundary {
+					opBytes = boundary - pos
+				}
+			}
+			th.seqPos += opBytes
+		case RandRead, RandWrite:
+			blocks := job.RangeBytes / job.BlockBytes
+			lba = (job.OffsetBytes + th.rng.Int63n(blocks)*job.BlockBytes) / units.Sector
+		}
+
+		var complete sim.Time
+		var err error
+		if job.Pattern.IsWrite() {
+			payloads := make([][]byte, opBytes/units.Sector)
+			if job.WithData {
+				for s := range payloads {
+					payloads[s] = fillPayload(lba + int64(s))
+				}
+			}
+			complete, err = dev.Write(submit, lba, payloads)
+			if err != nil {
+				return Result{}, fmt.Errorf("workload %s: write lba %d: %w", job.Name, lba, err)
+			}
+			if job.SyncWrites && zf != nil && zdev != nil {
+				zone := int(lba / zdev.ZoneCapSectors())
+				complete2, err := zf.Flush(complete, zone)
+				if err != nil {
+					return Result{}, fmt.Errorf("workload %s: sync flush zone %d: %w", job.Name, zone, err)
+				}
+				if complete2 > complete {
+					complete = complete2
+				}
+			}
+		} else {
+			_, complete, err = dev.Read(submit, lba, opBytes/units.Sector)
+			if err != nil {
+				return Result{}, fmt.Errorf("workload %s: read lba %d: %w", job.Name, lba, err)
+			}
+		}
+		lat.Record(complete.Sub(submit))
+		next := complete
+		if h := submit.Add(job.PerOpOverhead); h > next {
+			next = h
+		}
+		th.now = next
+		th.issued += opBytes
+		th.doneAtSim = next
+		totalOps++
+		totalBytes += opBytes
+	}
+
+	end := job.StartAt
+	for _, th := range threads {
+		if th.doneAtSim > end {
+			end = th.doneAtSim
+		}
+	}
+	if job.FlushAtEnd && job.Pattern.IsWrite() {
+		d, err := dev.FlushAll(end)
+		if err != nil {
+			return Result{}, err
+		}
+		if d > end {
+			end = d
+		}
+	}
+	elapsed := end.Sub(job.StartAt)
+	return Result{
+		Job:            job.Name,
+		Threads:        job.NumJobs,
+		Bytes:          totalBytes,
+		Ops:            totalOps,
+		Elapsed:        elapsed,
+		BandwidthMiBps: units.BandwidthMiBps(totalBytes, elapsed),
+		IOPS:           units.IOPS(totalOps, elapsed),
+		Lat:            lat.Summarize(),
+	}, nil
+}
+
+// fillPayload builds a deterministic sector payload for integrity checks.
+func fillPayload(lba int64) []byte {
+	p := make([]byte, units.Sector)
+	for i := range p {
+		p[i] = byte((lba*13 + int64(i)) % 251)
+	}
+	return p
+}
+
+// Prefill writes the byte region sequentially in large blocks so read
+// benchmarks have mapped data, then flushes. It returns the virtual time
+// at which the device is quiescent.
+func Prefill(dev Device, at sim.Time, offsetBytes, rangeBytes int64, withData bool) (sim.Time, error) {
+	const block = 384 * units.KiB
+	if offsetBytes%units.Sector != 0 || rangeBytes <= 0 || rangeBytes%units.Sector != 0 {
+		return at, fmt.Errorf("workload: bad prefill region [%d,+%d)", offsetBytes, rangeBytes)
+	}
+	var zoneBytes int64
+	if z, ok := dev.(Zoned); ok {
+		zoneBytes = z.ZoneCapSectors() * units.Sector
+	}
+	end := offsetBytes + rangeBytes
+	for pos := offsetBytes; pos < end; {
+		n := int64(block)
+		if pos+n > end {
+			n = end - pos
+		}
+		// Never cross a zone boundary: ZNS writes must stay in one zone.
+		if zoneBytes > 0 {
+			if boundary := pos - pos%zoneBytes + zoneBytes; pos+n > boundary {
+				n = boundary - pos
+			}
+		}
+		sectors := n / units.Sector
+		payloads := make([][]byte, sectors)
+		if withData {
+			for s := range payloads {
+				payloads[s] = fillPayload(pos/units.Sector + int64(s))
+			}
+		}
+		d, err := dev.Write(at, pos/units.Sector, payloads)
+		if err != nil {
+			return at, fmt.Errorf("workload: prefill at %d: %w", pos, err)
+		}
+		at = d
+		pos += n
+	}
+	return dev.FlushAll(at)
+}
+
+// ResetAllZones resets every zone of a zoned device, returning when the
+// last reset completes.
+func ResetAllZones(dev Zoned, at sim.Time) (sim.Time, error) {
+	done := at
+	for z := 0; z < dev.NumZones(); z++ {
+		d, err := dev.ResetZone(at, z)
+		if err != nil {
+			return at, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,116 @@
+package zns
+
+import (
+	"errors"
+	"testing"
+)
+
+func newConvManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		NumZones: 8, ZoneSize: 4096, ZoneCapacity: 4096,
+		MaxOpen: 2, MaxActive: 2, Conventional: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConventionalConfigValidation(t *testing.T) {
+	if _, err := NewManager(Config{NumZones: 4, ZoneSize: 64, ZoneCapacity: 64, Conventional: -1}); err == nil {
+		t.Error("negative conventional accepted")
+	}
+	if _, err := NewManager(Config{NumZones: 4, ZoneSize: 64, ZoneCapacity: 64, Conventional: 5}); err == nil {
+		t.Error("conventional > zones accepted")
+	}
+	if _, err := NewManager(Config{NumZones: 4, ZoneSize: 64, ZoneCapacity: 64, Conventional: 4}); err != nil {
+		t.Error("all-conventional rejected")
+	}
+}
+
+func TestConventionalTypeString(t *testing.T) {
+	if Conventional.String() != "CONVENTIONAL" || SequentialWriteRequired.String() != "SEQ_WRITE_REQUIRED" {
+		t.Error("type names wrong")
+	}
+}
+
+func TestConventionalReport(t *testing.T) {
+	m := newConvManager(t)
+	r := m.Report()
+	if r[0].Type != Conventional || r[1].Type != Conventional || r[2].Type != SequentialWriteRequired {
+		t.Error("types wrong in report")
+	}
+}
+
+func TestConventionalWritesAnywhere(t *testing.T) {
+	m := newConvManager(t)
+	// Middle of zone 0, end of zone 1, overwrite: all fine.
+	for _, w := range []struct{ lba, n int64 }{
+		{2000, 8}, {4096 + 4088, 8}, {2000, 8}, {0, 4096},
+	} {
+		if err := m.CommitWrite(w.lba, w.n); err != nil {
+			t.Errorf("write %+v: %v", w, err)
+		}
+	}
+	// Capacity boundary still enforced.
+	if err := m.CommitWrite(4090, 10); !errors.Is(err, ErrBoundary) {
+		t.Errorf("boundary = %v", err)
+	}
+	// Conventional writes consume no open slots and leave state Empty.
+	z, _ := m.Zone(0)
+	if z.State != Empty {
+		t.Errorf("state = %v", z.State)
+	}
+	if len(m.OpenZones()) != 0 {
+		t.Error("conventional writes opened zones")
+	}
+}
+
+func TestConventionalManagementRejected(t *testing.T) {
+	m := newConvManager(t)
+	if err := m.Open(0); !errors.Is(err, ErrConventional) {
+		t.Errorf("Open = %v", err)
+	}
+	if err := m.Close(0); !errors.Is(err, ErrConventional) {
+		t.Errorf("Close = %v", err)
+	}
+	if err := m.Finish(0); !errors.Is(err, ErrConventional) {
+		t.Errorf("Finish = %v", err)
+	}
+	if err := m.Reset(0); !errors.Is(err, ErrConventional) {
+		t.Errorf("Reset = %v", err)
+	}
+}
+
+func TestConventionalDoesNotCountAgainstLimits(t *testing.T) {
+	m := newConvManager(t) // MaxOpen 2
+	// Write both conventional zones, then open two sequential zones.
+	if err := m.CommitWrite(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitWrite(4096, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitWrite(2*4096, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitWrite(3*4096, 8); err != nil {
+		t.Fatal(err)
+	}
+	// A third sequential zone exceeds MaxOpen...
+	if err := m.CommitWrite(4*4096, 8); !errors.Is(err, ErrTooManyOpenZones) {
+		t.Errorf("limit = %v", err)
+	}
+	// ...but more conventional traffic is always fine.
+	if err := m.CommitWrite(100, 8); err != nil {
+		t.Errorf("conventional write blocked: %v", err)
+	}
+}
+
+func TestConventionalReads(t *testing.T) {
+	m := newConvManager(t)
+	if _, err := m.ValidateRead(100, 8); err != nil {
+		t.Errorf("read: %v", err)
+	}
+}
