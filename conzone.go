@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/conzone/conzone/internal/check"
 	"github.com/conzone/conzone/internal/config"
 	"github.com/conzone/conzone/internal/confzns"
 	"github.com/conzone/conzone/internal/femu"
@@ -348,6 +349,19 @@ func (d *Device) Wear() WearReport {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.f.Wear()
+}
+
+// CheckInvariants runs the cross-subsystem invariant audit over the
+// device's current state: mapping vs. NAND programmed state, zone write
+// pointers vs. committed and buffered sectors, the L2P cache vs. the
+// mapping table, SLC staging occupancy, superblock bindings and the WAF
+// accounting identities. It returns nil when everything is consistent, or
+// an error naming the violated invariant. The audit assumes a quiescent
+// device (no in-flight call on another goroutine).
+func (d *Device) CheckInvariants() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return check.Audit(d.f)
 }
 
 // Stats returns a unified counter snapshot.

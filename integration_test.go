@@ -57,6 +57,9 @@ func TestIntegrationConventionalZonePublicAPI(t *testing.T) {
 	if err := dev.ResetZone(1); err != nil {
 		t.Fatal(err)
 	}
+	if err := dev.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestIntegrationL2PLogPublicAPI(t *testing.T) {
@@ -78,6 +81,9 @@ func TestIntegrationL2PLogPublicAPI(t *testing.T) {
 	}
 	if st.NAND.MapPrograms != st.FTL.L2PLogPages {
 		t.Errorf("map programs %d != log pages %d", st.NAND.MapPrograms, st.FTL.L2PLogPages)
+	}
+	if err := dev.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -126,6 +132,9 @@ func TestIntegrationTraceAcrossModels(t *testing.T) {
 	if cz.Stats().FTL.PrematureFlushes == 0 {
 		t.Error("alternating zones on shared buffers should evict")
 	}
+	if err := cz.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
 }
 
 // TestIntegrationMixedWorkloadIntegrity runs a write job with real
@@ -169,6 +178,9 @@ func TestIntegrationMixedWorkloadIntegrity(t *testing.T) {
 				t.Fatalf("sector %d byte %d: got %d want %d", startSector, j, got[j], want)
 			}
 		}
+	}
+	if err := dev.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -219,5 +231,8 @@ func TestIntegrationAllModelsSurviveTortureMix(t *testing.T) {
 		if rres.IOPS <= 0 || wres.BandwidthMiBps <= 0 {
 			t.Errorf("%s: degenerate results %v %v", name, wres, rres)
 		}
+	}
+	if err := cz.CheckInvariants(); err != nil {
+		t.Error(err)
 	}
 }

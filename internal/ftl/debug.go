@@ -1,0 +1,64 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/nand"
+)
+
+// This file exposes read-only views of the FTL's internal bookkeeping for
+// the cross-subsystem invariant auditor (internal/check). Nothing here
+// mutates state.
+
+// AggLimit returns the first staged PSN: PSNs below it are reserved
+// (zone-linear) placement, PSNs at or above it index the SLC staging region.
+func (f *FTL) AggLimit() mapping.PSN { return f.aggLimit }
+
+// HeadSectors returns the sectors a zone's bound normal superblock holds;
+// zone offsets beyond it form the pow2 alignment tail.
+func (f *FTL) HeadSectors() int64 { return f.sbSectors }
+
+// ResolvePSN translates a PSN to its physical address, exactly as the read
+// path does.
+func (f *FTL) ResolvePSN(psn mapping.PSN) (nand.Addr, error) { return f.psnLoc(psn) }
+
+// FreeSBList returns a copy of the free normal-superblock pool.
+func (f *FTL) FreeSBList() []int { return append([]int(nil), f.freeSBs...) }
+
+// ZoneDebug is a read-only snapshot of one zone's FTL bookkeeping.
+type ZoneDebug struct {
+	SB           int  // bound normal superblock id, -1 when unbound
+	Conventional bool //
+	TailBase     int64
+	TailSet      bool
+	TailContig   bool
+	PendOffsets  []int64 // zone-relative offsets of the pending partial unit
+	PendIndices  []int64 // their staging linear indices, same order
+	Staged       []int64 // staging indices owned by the zone, ascending
+}
+
+// ZoneDebugInfo captures the zone's internal state for auditing.
+func (f *FTL) ZoneDebugInfo(zone int) (ZoneDebug, error) {
+	if zone < 0 || zone >= f.numZones {
+		return ZoneDebug{}, fmt.Errorf("ftl: zone %d out of range [0,%d)", zone, f.numZones)
+	}
+	zs := &f.zstate[zone]
+	d := ZoneDebug{
+		SB:           zs.sb,
+		Conventional: zs.conv,
+		TailBase:     zs.tailBase,
+		TailSet:      zs.tailSet,
+		TailContig:   zs.tailContig,
+	}
+	for _, p := range zs.pend {
+		d.PendOffsets = append(d.PendOffsets, p.off)
+		d.PendIndices = append(d.PendIndices, p.gidx)
+	}
+	for g := range zs.staged {
+		d.Staged = append(d.Staged, g)
+	}
+	sort.Slice(d.Staged, func(i, j int) bool { return d.Staged[i] < d.Staged[j] })
+	return d, nil
+}

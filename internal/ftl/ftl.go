@@ -128,6 +128,7 @@ type Stats struct {
 	MapFetches       int64 // L2P entry fetches from flash
 	MapFetchReads    int64 // flash reads those fetches needed (≥ MapFetches)
 	ZoneResets       int64
+	ResetDiscards    int64 // buffered sectors a zone reset threw away unflushed
 	TailSectors      int64 // alignment-tail sectors written to reserved SLC
 	BufferReads      int64 // read sectors served from the volatile write buffer
 	L2PLogFlushes    int64 // L2P log persistence events (blocking)

@@ -18,8 +18,12 @@ func (f *FTL) ResetZone(at sim.Time, zone int) (sim.Time, error) {
 	zs := &f.zstate[zone]
 	done := at
 
-	// Discard any buffered-but-unflushed data of this zone.
-	f.bufs.Take(zone)
+	// Discard any buffered-but-unflushed data of this zone. The discarded
+	// sectors count toward the WAF identity: the host wrote them but they
+	// never reach media.
+	if fl := f.bufs.Take(zone); fl != nil {
+		f.stats.ResetDiscards += fl.Sectors()
+	}
 
 	// Invalidate the zone's staged SLC sectors (pend + tail + stale).
 	for g := range zs.staged {

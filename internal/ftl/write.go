@@ -272,6 +272,10 @@ func (f *FTL) programPU(at sim.Time, zone int, puStart int64, sectors [][]byte) 
 			return at, at, err
 		}
 	}
+	// A combine (Fig. 3 ③) re-points previously staged sectors at the
+	// normal area; cached translations of their staged PSNs are now stale
+	// and would dangle once the SLC copies are garbage-collected.
+	f.cache.InvalidateRange(z.Start+puStart, f.puSectors)
 	f.noteMapUpdates(f.puSectors)
 	f.stats.DirectPUs++
 	f.aggregateAfterWrite(zone, puStart, f.puSectors)

@@ -154,9 +154,30 @@ func (c *Cache) Insert(g mapping.Gran, lpa int64, basePSN mapping.PSN, pinned bo
 }
 
 // dropCovered removes narrower entries whose span lies inside the new
-// wider entry starting at base.
+// wider entry starting at base. The work is bounded by whichever side is
+// smaller: probing every narrower base in the span (a zone-level insert
+// would probe thousands of page bases) or walking the resident entries
+// (at most MaxEntries).
 func (c *Cache) dropCovered(g mapping.Gran, base int64) {
 	span := c.table.SectorsOf(g)
+	probes := span // page-granularity bases in the span
+	if g == mapping.Zone {
+		probes += span / c.table.SectorsOf(mapping.Chunk)
+	}
+	if int64(c.lru.Len()) < probes {
+		var victims []*list.Element
+		for el := c.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			if e.key.g < g && e.key.base >= base && e.key.base < base+span {
+				victims = append(victims, el)
+			}
+		}
+		for _, el := range victims {
+			c.remove(el)
+			c.stats.Covered++
+		}
+		return
+	}
 	narrower := []mapping.Gran{mapping.Page}
 	if g == mapping.Zone {
 		narrower = append(narrower, mapping.Chunk)
@@ -193,9 +214,26 @@ func (c *Cache) remove(el *list.Element) {
 }
 
 // InvalidateRange removes every cached entry overlapping [lpa, lpa+n),
-// regardless of pinning. Zone resets use it.
+// regardless of pinning. Zone resets use it. Like dropCovered, the scan is
+// bounded by the resident entry count when the span would probe more bases
+// than the cache can hold.
 func (c *Cache) InvalidateRange(lpa, n int64) {
 	if n <= 0 {
+		return
+	}
+	probes := n + n/c.table.SectorsOf(mapping.Chunk) + n/c.table.SectorsOf(mapping.Zone) + 3
+	if int64(c.lru.Len()) < probes {
+		var victims []*list.Element
+		for el := c.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			span := c.table.SectorsOf(e.key.g)
+			if e.key.base < lpa+n && e.key.base+span > lpa {
+				victims = append(victims, el)
+			}
+		}
+		for _, el := range victims {
+			c.remove(el)
+		}
 		return
 	}
 	for _, g := range []mapping.Gran{mapping.Zone, mapping.Chunk, mapping.Page} {
@@ -205,6 +243,26 @@ func (c *Cache) InvalidateRange(lpa, n int64) {
 			if el, ok := c.m[key{g: g, base: b}]; ok {
 				c.remove(el)
 			}
+		}
+	}
+}
+
+// Entry is a read-only view of one cached translation, for diagnostics and
+// invariant auditing.
+type Entry struct {
+	Gran   mapping.Gran
+	Base   int64 // aligned base LPA
+	PSN    mapping.PSN
+	Pinned bool
+}
+
+// ForEach visits every cached entry in MRU-to-LRU order without touching
+// the LRU order or statistics. Iteration stops when fn returns false.
+func (c *Cache) ForEach(fn func(Entry) bool) {
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !fn(Entry{Gran: e.key.g, Base: e.key.base, PSN: e.psn, Pinned: e.pinned}) {
+			return
 		}
 	}
 }

@@ -272,3 +272,52 @@ func TestProbeOrderPrefersWider(t *testing.T) {
 		t.Errorf("Lookup = %d, %v; zone entry should win", psn, ok)
 	}
 }
+
+// newBenchCache builds a cache over a realistically wide table: 4096-sector
+// zones (16 MiB) and 1024-sector chunks, paper geometry.
+func newBenchCache(b *testing.B, capBytes int64) (*Cache, *mapping.Table) {
+	b.Helper()
+	tbl, err := mapping.NewTable(mapping.Config{
+		TotalSectors: 96 * 4096, ChunkSectors: 1024, ZoneSectors: 4096, AggLimit: 96 * 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(capBytes, 4, tbl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, tbl
+}
+
+// BenchmarkInsertZoneAggregationHeavy measures wide-entry inserts into a
+// small cache. Each zone insert must drop the narrower entries it covers;
+// a full-span probe walks 4096+ page bases per insert, while the resident
+// walk is bounded by the cache's ~3k entries — and by the actual resident
+// count, which here is far smaller.
+func BenchmarkInsertZoneAggregationHeavy(b *testing.B) {
+	c, _ := newBenchCache(b, 12*1024) // 3072 entries, the paper's budget
+	// A light resident population, as after aggregation has consolidated.
+	for i := int64(0); i < 64; i++ {
+		c.Insert(mapping.Page, i*31%4096, mapping.PSN(i), false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zone := int64(i % 96)
+		c.Insert(mapping.Zone, zone*4096, mapping.PSN(zone*4096), false)
+	}
+}
+
+// BenchmarkInvalidateRangeZoneReset measures the zone-reset invalidation
+// path with few resident entries, where the bounded scan beats probing
+// every page, chunk and zone base in the 4096-sector span.
+func BenchmarkInvalidateRangeZoneReset(b *testing.B) {
+	c, _ := newBenchCache(b, 12*1024)
+	for i := int64(0); i < 128; i++ {
+		c.Insert(mapping.Page, i*67%(96*4096), mapping.PSN(i), false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InvalidateRange(int64(i%96)*4096, 4096)
+	}
+}

@@ -279,6 +279,23 @@ func (t *Table) InvalidateZone(lpa int64) error {
 	return nil
 }
 
+// MappedInRange counts the valid entries in [lo, hi), clamped to the table.
+func (t *Table) MappedInRange(lo, hi int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int64(len(t.psn)) {
+		hi = int64(len(t.psn))
+	}
+	var n int64
+	for i := lo; i < hi; i++ {
+		if t.psn[i] != InvalidPSN {
+			n++
+		}
+	}
+	return n
+}
+
 // ValidCount returns the number of valid entries (test/diagnostic helper).
 func (t *Table) ValidCount() int64 {
 	var n int64

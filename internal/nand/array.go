@@ -376,3 +376,15 @@ func (a *Array) Payload(ppa PPA) []byte {
 func (a *Array) NextProgramSector(chip, block int) int {
 	return a.blocks[chip][block].nextSector
 }
+
+// TotalEraseCount sums the per-block erase counters over every chip. The
+// invariant auditor cross-checks it against Counters().Erases.
+func (a *Array) TotalEraseCount() int64 {
+	var n int64
+	for c := range a.blocks {
+		for b := range a.blocks[c] {
+			n += a.blocks[c][b].eraseCount
+		}
+	}
+	return n
+}

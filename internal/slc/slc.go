@@ -168,6 +168,70 @@ func (r *Region) AddrOf(idx int64) (nand.Addr, error) {
 	}, nil
 }
 
+// IndexOf converts a physical address inside the region back to its linear
+// staging index — the inverse of AddrOf. It fails when the address does not
+// belong to a region block.
+func (r *Region) IndexOf(addr nand.Addr) (int64, error) {
+	sb := -1
+	for i, b := range r.blocks {
+		if b == addr.Block {
+			sb = i
+			break
+		}
+	}
+	if sb < 0 {
+		return 0, fmt.Errorf("slc: block %d not owned by the region", addr.Block)
+	}
+	if addr.Chip < 0 || addr.Chip >= r.chips || addr.Sector < 0 || addr.Sector >= r.spp {
+		return 0, fmt.Errorf("slc: address %+v outside region geometry", addr)
+	}
+	page := addr.Page*r.chips + addr.Chip
+	pos := int64(page)*int64(r.spp) + int64(addr.Sector)
+	if pos < 0 || pos >= r.sbCap {
+		return 0, fmt.Errorf("slc: address %+v outside superblock capacity", addr)
+	}
+	return int64(sb)*r.sbCap + pos, nil
+}
+
+// OwnsBlock reports whether the per-chip block index belongs to the region.
+func (r *Region) OwnsBlock(block int) bool {
+	for _, b := range r.blocks {
+		if b == block {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockOf returns the per-chip block index backing superblock sb.
+func (r *Region) BlockOf(sb int) (int, error) {
+	if sb < 0 || sb >= len(r.blocks) {
+		return 0, fmt.Errorf("slc: superblock %d out of range", sb)
+	}
+	return r.blocks[sb], nil
+}
+
+// IsFree reports whether superblock sb sits on the free list.
+func (r *Region) IsFree(sb int) bool {
+	if sb < 0 || sb >= len(r.sbs) {
+		return false
+	}
+	return r.sbs[sb].inFree
+}
+
+// WritePoint returns the open superblock id (-1 when unbound) and the next
+// linear sector position inside it.
+func (r *Region) WritePoint() (sb int, pos int64) { return r.cur, r.pos }
+
+// TotalValid returns the live staged sectors across all superblocks.
+func (r *Region) TotalValid() int64 {
+	var n int64
+	for i := range r.sbs {
+		n += int64(r.sbs[i].validCount)
+	}
+	return n
+}
+
 // bind attaches the write pointer to the next free superblock.
 func (r *Region) bind() error {
 	if len(r.free) == 0 {

@@ -132,9 +132,15 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		for j, c := range h.counts[i] {
 			seen += c
 			if seen >= rank {
+				// Bucket edges are coarser than the exact extrema: clamp
+				// into [Min, Max] so e.g. a single 1.5µs observation does
+				// not report a P50 of 1µs (below its own minimum).
 				v := valueOf(i, j)
 				if v > h.max {
 					v = h.max
+				}
+				if v < h.min {
+					v = h.min
 				}
 				return v
 			}

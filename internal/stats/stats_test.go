@@ -220,3 +220,42 @@ func TestHistogramLargeValues(t *testing.T) {
 		t.Errorf("p99 = %v", p)
 	}
 }
+
+// TestHistogramPercentileBoundedByMin pins the clamp on the other side of
+// the bucket approximation: percentile estimates must never fall below the
+// smallest recorded observation.
+func TestHistogramPercentileBoundedByMin(t *testing.T) {
+	// A single mid-bucket observation: its sub-bucket's representative
+	// value truncates to 1µs, below the observation itself.
+	h := NewHistogram()
+	h.Record(1500 * time.Nanosecond)
+	for _, p := range []float64{0.1, 50, 99, 100} {
+		if v := h.Percentile(p); v < h.Min() || v > h.Max() {
+			t.Errorf("P%v = %v outside [%v, %v]", p, v, h.Min(), h.Max())
+		}
+	}
+	if got := h.Percentile(50); got != 1500*time.Nanosecond {
+		t.Errorf("single-observation P50 = %v, want the observation itself", got)
+	}
+
+	// Identical observations: every percentile is that value.
+	h2 := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h2.Record(3100 * time.Nanosecond)
+	}
+	for _, p := range []float64{1, 50, 99.9} {
+		if v := h2.Percentile(p); v != 3100*time.Nanosecond {
+			t.Errorf("uniform P%v = %v, want 3.1µs", p, v)
+		}
+	}
+
+	// Mixed observations stay within the true range.
+	h3 := NewHistogram()
+	h3.Record(2500 * time.Nanosecond)
+	h3.Record(900 * time.Microsecond)
+	for _, p := range []float64{0.1, 10, 50, 90, 99.9} {
+		if v := h3.Percentile(p); v < h3.Min() || v > h3.Max() {
+			t.Errorf("P%v = %v outside [%v, %v]", p, v, h3.Min(), h3.Max())
+		}
+	}
+}

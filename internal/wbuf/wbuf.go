@@ -188,6 +188,37 @@ func (m *Manager) Buffered(zone int) (startLBA, sectors int64) {
 	return b.startLBA, int64(len(b.payloads))
 }
 
+// Run describes one occupied buffer for diagnostics and auditing.
+type Run struct {
+	Buffer   int
+	Zone     int
+	StartLBA int64
+	Sectors  int64
+}
+
+// Runs returns the currently buffered runs, one per occupied buffer, in
+// buffer order.
+func (m *Manager) Runs() []Run {
+	var out []Run
+	for i := range m.bufs {
+		b := &m.bufs[i]
+		if len(b.payloads) == 0 {
+			continue
+		}
+		out = append(out, Run{Buffer: i, Zone: b.zone, StartLBA: b.startLBA, Sectors: int64(len(b.payloads))})
+	}
+	return out
+}
+
+// BufferedSectors returns the total sectors held across all buffers.
+func (m *Manager) BufferedSectors() int64 {
+	var n int64
+	for i := range m.bufs {
+		n += int64(len(m.bufs[i].payloads))
+	}
+	return n
+}
+
 // ReadSector serves a read hit from the buffer: the payload of the sector
 // at lba if it is currently buffered for the zone. The second result is
 // false when the sector is not in the buffer.

@@ -153,6 +153,7 @@ type thread struct {
 	seqPos    int64 // next byte offset for sequential patterns
 	seqStart  int64 // slice start
 	seqEnd    int64 // slice end (exclusive)
+	wrapped   bool  // sequential position looped back to seqStart
 	rng       *sim.Rand
 	doneAtSim sim.Time
 }
@@ -227,6 +228,7 @@ func Run(dev Device, job Job) (Result, error) {
 		case SeqWrite, SeqRead:
 			if th.seqPos+job.BlockBytes > th.seqEnd {
 				th.seqPos = th.seqStart // wrap, as fio loops
+				th.wrapped = true
 			}
 			lba = th.seqPos / units.Sector
 			// Clamp at zone boundaries, as fio's zonemode=zbd does: a ZNS
@@ -236,6 +238,21 @@ func Run(dev Device, job Job) (Result, error) {
 				pos := th.seqPos
 				if boundary := pos - pos%zb + zb; pos+opBytes > boundary {
 					opBytes = boundary - pos
+				}
+				// A wrapped sequential writer re-enters zones it already
+				// filled; fio's zonemode=zbd resets such a zone before
+				// rewriting it, else the write would not be at the write
+				// pointer.
+				if job.Pattern == SeqWrite && th.wrapped && pos%zb == 0 {
+					zone := int(pos / zb)
+					d, err := zdev.ResetZone(submit, zone)
+					if err != nil {
+						return Result{}, fmt.Errorf("workload %s: wrap reset zone %d: %w", job.Name, zone, err)
+					}
+					if d > submit {
+						submit = d
+					}
+					th.now = submit
 				}
 			}
 			th.seqPos += opBytes

@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"github.com/conzone/conzone/internal/config"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/units"
 )
@@ -379,5 +381,96 @@ func TestSyncWritesFlushPerWrite(t *testing.T) {
 	}
 	if len(dev2.zoneFlushes) != 0 {
 		t.Errorf("unexpected flushes: %v", dev2.zoneFlushes)
+	}
+}
+
+// fakeZonedDevice enforces ZNS write-pointer semantics: a write must land
+// exactly at its zone's write pointer, and only a reset rewinds it.
+type fakeZonedDevice struct {
+	fakeDevice
+	zoneCap int64 // sectors
+	wp      []int64
+	resets  []int
+}
+
+func (f *fakeZonedDevice) NumZones() int         { return len(f.wp) }
+func (f *fakeZonedDevice) ZoneCapSectors() int64 { return f.zoneCap }
+
+func (f *fakeZonedDevice) ResetZone(at sim.Time, zone int) (sim.Time, error) {
+	f.resets = append(f.resets, zone)
+	f.wp[zone] = 0
+	return at.Add(time.Millisecond), nil
+}
+
+func (f *fakeZonedDevice) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error) {
+	zone := lba / f.zoneCap
+	n := int64(len(payloads))
+	if lba != zone*f.zoneCap+f.wp[zone] {
+		return at, fmt.Errorf("write lba %d not at zone %d write pointer %d", lba, zone, f.wp[zone])
+	}
+	if f.wp[zone]+n > f.zoneCap {
+		return at, fmt.Errorf("write crosses zone %d capacity", zone)
+	}
+	f.wp[zone] += n
+	return f.fakeDevice.Write(at, lba, payloads)
+}
+
+// TestSeqWriteWrapResetsZones loops a sequential writer over its slice
+// twice. fio's zonemode=zbd resets a zone before rewriting it after a
+// wrap; without the reset the second pass dies with a write-pointer
+// violation on any zoned device.
+func TestSeqWriteWrapResetsZones(t *testing.T) {
+	zoneCap := int64(256 * units.KiB / units.Sector)
+	dev := &fakeZonedDevice{
+		fakeDevice: fakeDevice{total: 4 * zoneCap},
+		zoneCap:    zoneCap,
+		wp:         make([]int64, 4),
+	}
+	j := baseJob()
+	j.Pattern = SeqWrite
+	j.BlockBytes = 64 * units.KiB
+	j.RangeBytes = units.MiB
+	j.TotalBytesPerJob = 2 * units.MiB // two full passes over four zones
+	res, err := Run(dev, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 32 {
+		t.Errorf("Ops = %d, want 32", res.Ops)
+	}
+	if len(dev.resets) != 4 {
+		t.Fatalf("resets = %v, want each of the four zones reset once on the second pass", dev.resets)
+	}
+	for i, z := range dev.resets {
+		if z != i {
+			t.Errorf("reset %d hit zone %d, want %d", i, z, i)
+		}
+	}
+	if dev.wp[3] != zoneCap {
+		t.Errorf("zone 3 write pointer = %d after second pass, want %d", dev.wp[3], zoneCap)
+	}
+}
+
+// TestSeqWriteWrapOnConZone is the same regression on the real FTL.
+func TestSeqWriteWrapOnConZone(t *testing.T) {
+	f, err := config.Small().NewConZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoneBytes := f.ZoneCapSectors() * units.Sector
+	j := Job{
+		Name: "wrap", Pattern: SeqWrite,
+		BlockBytes:       128 * units.KiB,
+		NumJobs:          1,
+		RangeBytes:       2 * zoneBytes,
+		TotalBytesPerJob: 4 * zoneBytes, // wraps over both zones twice
+		FlushAtEnd:       true,
+		Seed:             7,
+	}
+	if _, err := Run(f, j); err != nil {
+		t.Fatalf("wrapped sequential write on ConZone: %v", err)
+	}
+	if f.Stats().ZoneResets < 2 {
+		t.Errorf("ZoneResets = %d, want the wrap to reset both zones", f.Stats().ZoneResets)
 	}
 }
