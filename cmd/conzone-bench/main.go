@@ -4,6 +4,7 @@
 // Usage:
 //
 //	conzone-bench [-exp all|table1|table2|fig6a|fig6b|fig7|fig8|ablations] [-quick] [-config file.json]
+//	conzone-bench -metrics [-metrics-json tel.json] [-chrome trace.json]
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"github.com/conzone/conzone"
 	"github.com/conzone/conzone/internal/config"
 	"github.com/conzone/conzone/internal/experiments"
 	"github.com/conzone/conzone/internal/units"
@@ -21,6 +23,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, table2, fig6a, fig6b, fig7, fig8, ablations")
 	quick := flag.Bool("quick", false, "reduced I/O volumes for a fast run")
 	cfgPath := flag.String("config", "", "device configuration JSON (default: the paper's §IV-A setup)")
+	metrics := flag.Bool("metrics", false, "run an instrumented workload and print Prometheus-style lifecycle metrics")
+	metricsJSON := flag.String("metrics-json", "", "with -metrics: also write the JSON telemetry snapshot to this file")
+	chromeOut := flag.String("chrome", "", "with -metrics: also write the simulated timeline as a Chrome Trace Event file")
 	flag.Parse()
 
 	cfg := config.Paper()
@@ -30,6 +35,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *metrics {
+		if err := runMetrics(cfg, *metricsJSON, *chromeOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	opt := experiments.Default()
 	if *quick {
@@ -228,6 +239,116 @@ func runEmulators(cfg config.DeviceConfig, opt experiments.Options) error {
 		return err
 	}
 	fmt.Println("only ConZone registers the consumer-specific internals (paper Table I)")
+	return nil
+}
+
+// runMetrics drives an instrumented workload through the public Device API:
+// conflicting dual-zone 48 KiB writes (premature flushes, SLC staging,
+// combines), a flush, cold-cache random reads (map fetches, data reads) and
+// a zone reset. Per-phase interval counters come from Stats.Delta; at the
+// end the telemetry snapshot is printed as Prometheus text exposition, and
+// optionally written as JSON and as a Chrome Trace Event file.
+func runMetrics(cfg config.DeviceConfig, jsonPath, chromePath string) error {
+	dev, err := conzone.Open(cfg)
+	if err != nil {
+		return err
+	}
+	dev.EnableObservation(0)
+
+	const (
+		ioBytes = 48 << 10 // the paper's Fig. 6(b) write size
+		rounds  = 48
+	)
+	zb := dev.ZoneBytes()
+	if int64(rounds)*ioBytes > zb {
+		return fmt.Errorf("zone capacity %d too small for the metrics workload", zb)
+	}
+	buf := make([]byte, ioBytes)
+
+	phase := func(name string, prev conzone.Stats) (conzone.Stats, error) {
+		now := dev.Stats()
+		d := now.Delta(prev)
+		fmt.Printf("%-22s host %8s  premature %3d  staged %5d  combines %3d  map fetches %4d  WAF %.3f\n",
+			name, units.FormatBytes(d.FTL.HostWrittenBytes+d.FTL.HostReadBytes),
+			d.FTL.PrematureFlushes, d.FTL.StagedSectors, d.FTL.Combines, d.FTL.MapFetches, d.WAF)
+		return now, nil
+	}
+
+	header("Lifecycle metrics workload (paper configuration)")
+	snap := dev.Stats()
+	// Zones 1 and 3 share a write buffer (zone mod 2): every alternation
+	// evicts the other zone's partial data prematurely.
+	for i := 0; i < rounds; i++ {
+		off := int64(i) * ioBytes
+		if err := dev.Write(1*zb+off, buf); err != nil {
+			return err
+		}
+		if err := dev.Write(3*zb+off, buf); err != nil {
+			return err
+		}
+	}
+	if snap, err = phase("conflicting writes", snap); err != nil {
+		return err
+	}
+	if err := dev.Flush(); err != nil {
+		return err
+	}
+	if snap, err = phase("flush", snap); err != nil {
+		return err
+	}
+	// Cold-cache random reads inside zone 1's written extent.
+	state := uint64(0x9E3779B97F4A7C15)
+	span := int64(rounds) * ioBytes
+	for i := 0; i < 256; i++ {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		off := int64(state*0x2545F4914F6CDD1D) % (span / conzone.SectorSize)
+		if off < 0 {
+			off = -off
+		}
+		if _, err := dev.Read(1*zb+off*conzone.SectorSize, int(conzone.SectorSize)); err != nil {
+			return err
+		}
+	}
+	if snap, err = phase("random reads", snap); err != nil {
+		return err
+	}
+	if err := dev.ResetZone(3); err != nil {
+		return err
+	}
+	if _, err = phase("zone reset", snap); err != nil {
+		return err
+	}
+
+	tel := dev.Telemetry()
+	fmt.Println()
+	if err := tel.WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tel.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON telemetry snapshot to %s\n", jsonPath)
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tel.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace (%d events) to %s — open via chrome://tracing or https://ui.perfetto.dev\n",
+			len(tel.Events), chromePath)
+	}
 	return nil
 }
 

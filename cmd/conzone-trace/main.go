@@ -5,6 +5,7 @@
 //
 //	conzone-trace -gen seqwrite -out trace.bin            # synthesise a trace
 //	conzone-trace -replay trace.bin -device conzone       # replay it
+//	conzone-trace -replay trace.bin -observe              # replay + telemetry
 //	conzone-trace -convert trace.bin -out trace.txt       # binary -> text
 //	conzone-trace -convert trace.txt -out trace.bin       # text -> binary
 package main
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/trace"
 	"github.com/conzone/conzone/internal/units"
 	"github.com/conzone/conzone/internal/workload"
@@ -31,6 +33,8 @@ func main() {
 	convert := flag.String("convert", "", "trace file to convert (binary<->text by extension)")
 	out := flag.String("out", "", "output file for -gen/-convert")
 	small := flag.Bool("small", false, "use the Small configuration")
+	observe := flag.Bool("observe", false, "with -replay on the conzone device: record lifecycle spans and print per-stage metrics")
+	chromeOut := flag.String("chrome", "", "with -observe: write the simulated timeline as a Chrome Trace Event file")
 	flag.Parse()
 
 	cfg := config.Paper()
@@ -47,7 +51,7 @@ func main() {
 			fatal(err)
 		}
 	case *replay != "":
-		if err := doReplay(cfg, *replay, *device); err != nil {
+		if err := doReplay(cfg, *replay, *device, *observe, *chromeOut); err != nil {
 			fatal(err)
 		}
 	case *convert != "":
@@ -138,15 +142,27 @@ func generate(cfg config.DeviceConfig, kind string, ops int, path string) error 
 	return nil
 }
 
-func doReplay(cfg config.DeviceConfig, path, device string) error {
+func doReplay(cfg config.DeviceConfig, path, device string, observe bool, chromePath string) error {
 	recs, err := readTrace(path)
 	if err != nil {
 		return err
 	}
+	if observe && device != "conzone" {
+		return fmt.Errorf("-observe is only supported by the conzone device, not %q", device)
+	}
 	var dev workload.Device
+	var rec *obs.Recorder
 	switch device {
 	case "conzone":
-		dev, err = cfg.NewConZone()
+		f, e := cfg.NewConZone()
+		if e != nil {
+			return e
+		}
+		if observe {
+			rec = obs.NewRecorder(0)
+			f.SetRecorder(rec)
+		}
+		dev = f
 	case "legacy":
 		dev, err = cfg.NewLegacy()
 	case "femu":
@@ -165,6 +181,25 @@ func doReplay(cfg config.DeviceConfig, path, device string) error {
 		res.Records, device, res.ReadOps, units.FormatBytes(res.ReadBytes),
 		res.WriteOps, units.FormatBytes(res.WriteB), res.Resets, res.Flushes)
 	fmt.Printf("virtual completion time: %v\n", time.Duration(res.LastDone))
+	if rec != nil {
+		tel := rec.Snapshot()
+		fmt.Println()
+		if err := tel.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+		if chromePath != "" {
+			o, err := os.Create(chromePath)
+			if err != nil {
+				return err
+			}
+			defer o.Close()
+			if err := tel.WriteChromeTrace(o); err != nil {
+				return err
+			}
+			fmt.Printf("wrote Chrome trace (%d events) to %s — open via chrome://tracing or https://ui.perfetto.dev\n",
+				len(tel.Events), chromePath)
+		}
+	}
 	return nil
 }
 

@@ -39,6 +39,7 @@ import (
 	"github.com/conzone/conzone/internal/l2pcache"
 	"github.com/conzone/conzone/internal/legacy"
 	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/slc"
 	"github.com/conzone/conzone/internal/units"
@@ -115,6 +116,28 @@ type Stats struct {
 
 	WAF          float64
 	L2PMissRatio float64
+}
+
+// Delta returns the counter changes from prev to s: every counter field is
+// subtracted, and the two ratios are recomputed over the interval (WAF from
+// the interval's byte deltas, the miss ratio from the interval's lookups).
+// Interval reporters snapshot Stats per tick and call Delta instead of
+// subtracting fields by hand.
+func (s Stats) Delta(prev Stats) Stats {
+	d := Stats{
+		FTL:     s.FTL.Delta(prev.FTL),
+		Cache:   s.Cache.Delta(prev.Cache),
+		NAND:    s.NAND.Delta(prev.NAND),
+		Staging: s.Staging.Delta(prev.Staging),
+		Buffers: s.Buffers.Delta(prev.Buffers),
+	}
+	if d.FTL.HostWrittenBytes > 0 {
+		d.WAF = float64(d.NAND.BytesProgrammed) / float64(d.FTL.HostWrittenBytes)
+	}
+	if lookups := d.Cache.Hits + d.Cache.Misses; lookups > 0 {
+		d.L2PMissRatio = float64(d.Cache.Misses) / float64(lookups)
+	}
+	return d
 }
 
 // Device is a thread-safe ConZone device with a byte-granular convenience
@@ -362,6 +385,46 @@ func (d *Device) CheckInvariants() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return check.Audit(d.f)
+}
+
+// Observability types re-exported for telemetry consumers.
+type (
+	// Telemetry is a per-stage latency and event snapshot; it marshals to
+	// JSON and renders as Prometheus text or a Chrome Trace Event file.
+	Telemetry = obs.Telemetry
+	// LifecycleEvent is one recorded I/O lifecycle span.
+	LifecycleEvent = obs.Event
+	// LifecycleStage identifies which stage of the I/O path a span covers.
+	LifecycleStage = obs.Stage
+)
+
+// EnableObservation attaches a lifecycle recorder to the device: every host
+// op's traversal of the write buffers, SLC staging, combine, L2P fetch, GC
+// and raw media paths is recorded as a simulated-time span. ringSize bounds
+// the flight-recorder window (<= 0 uses the default of 4096 events).
+// Observation costs nothing until enabled; enabling it twice resets the
+// recorder.
+func (d *Device) EnableObservation(ringSize int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.f.SetRecorder(obs.NewRecorder(ringSize))
+}
+
+// DisableObservation detaches the recorder, returning the device to the
+// zero-overhead path.
+func (d *Device) DisableObservation() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.f.SetRecorder(nil)
+}
+
+// Telemetry snapshots the lifecycle recorder: per-stage span counts, cause
+// breakdowns, latency summaries, retained events and per-resource usage.
+// With observation disabled it returns a zero snapshot.
+func (d *Device) Telemetry() Telemetry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Telemetry()
 }
 
 // Stats returns a unified counter snapshot.

@@ -35,14 +35,34 @@ import (
 	"github.com/conzone/conzone/internal/ftl"
 	"github.com/conzone/conzone/internal/l2pcache"
 	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/units"
 	"github.com/conzone/conzone/internal/wbuf"
 )
 
+// auditTailEvents is how many flight-recorder events a violation message
+// carries: enough to see the operation sequence that corrupted state
+// without flooding fuzzer reproducer logs.
+const auditTailEvents = 32
+
 // Audit verifies the cross-subsystem bookkeeping identities of a ConZone
 // FTL between operations. It returns nil when every invariant holds, or an
-// error naming the first violated invariant.
+// error naming the first violated invariant. When the FTL has a lifecycle
+// recorder attached, the violation message carries the flight recorder's
+// tail so reproducers show the I/O path that corrupted state.
 func Audit(f *ftl.FTL) error {
+	err := audit(f)
+	if err == nil {
+		return nil
+	}
+	if tail := obs.FormatTail(f.Recorder(), auditTailEvents); tail != "" {
+		return fmt.Errorf("%w\nflight recorder (last %d lifecycle events):\n%s",
+			err, len(f.Recorder().Tail(auditTailEvents)), tail)
+	}
+	return err
+}
+
+func audit(f *ftl.FTL) error {
 	if err := substrates(f); err != nil {
 		return err
 	}

@@ -1,0 +1,52 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/obs"
+)
+
+// TestAuditAppendsFlightRecorderTail: when a device has a lifecycle
+// recorder attached, a failed audit dumps the recorder's tail so the
+// events leading up to the corruption are part of the report.
+func TestAuditAppendsFlightRecorderTail(t *testing.T) {
+	f := newAuditFTL(t)
+	f.SetRecorder(obs.NewRecorder(0))
+	// Re-run some observed traffic so the ring has events, then corrupt.
+	if _, err := f.Flush(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	f.Cache().Insert(mapping.Page, 3, f.AggLimit()+7, false)
+
+	err := Audit(f)
+	if err == nil {
+		t.Fatal("audit missed the injected corruption")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "audit[cache-stale]") {
+		t.Fatalf("audit lost the invariant slug: %v", msg)
+	}
+	if !strings.Contains(msg, "flight recorder (last") {
+		t.Fatalf("audit error missing flight-recorder tail: %v", msg)
+	}
+	if !strings.Contains(msg, "host_write") && !strings.Contains(msg, "slc_stage") {
+		t.Fatalf("flight-recorder tail has no lifecycle events: %v", msg)
+	}
+}
+
+// TestAuditWithoutRecorderOmitsTail: no recorder, no tail — the original
+// error is returned untouched.
+func TestAuditWithoutRecorderOmitsTail(t *testing.T) {
+	f := newAuditFTL(t)
+	f.Cache().Insert(mapping.Page, 3, f.AggLimit()+7, false)
+
+	err := Audit(f)
+	if err == nil {
+		t.Fatal("audit missed the injected corruption")
+	}
+	if strings.Contains(err.Error(), "flight recorder") {
+		t.Fatalf("tail appended without a recorder: %v", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/conzone/conzone/internal/l2pcache"
 	"github.com/conzone/conzone/internal/mapping"
 	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/slc"
 	"github.com/conzone/conzone/internal/stats"
@@ -135,6 +136,27 @@ type Stats struct {
 	L2PLogPages      int64 // map-region pages those flushes programmed
 }
 
+// Delta returns the counter changes from prev to s, so interval reporting
+// does not need manual field-by-field subtraction.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		HostReadBytes:    s.HostReadBytes - prev.HostReadBytes,
+		HostWrittenBytes: s.HostWrittenBytes - prev.HostWrittenBytes,
+		DirectPUs:        s.DirectPUs - prev.DirectPUs,
+		StagedSectors:    s.StagedSectors - prev.StagedSectors,
+		Combines:         s.Combines - prev.Combines,
+		PrematureFlushes: s.PrematureFlushes - prev.PrematureFlushes,
+		MapFetches:       s.MapFetches - prev.MapFetches,
+		MapFetchReads:    s.MapFetchReads - prev.MapFetchReads,
+		ZoneResets:       s.ZoneResets - prev.ZoneResets,
+		ResetDiscards:    s.ResetDiscards - prev.ResetDiscards,
+		TailSectors:      s.TailSectors - prev.TailSectors,
+		BufferReads:      s.BufferReads - prev.BufferReads,
+		L2PLogFlushes:    s.L2PLogFlushes - prev.L2PLogFlushes,
+		L2PLogPages:      s.L2PLogPages - prev.L2PLogPages,
+	}
+}
+
 type pendSector struct {
 	off  int64 // zone-relative sector offset
 	gidx int64 // staging linear index
@@ -194,6 +216,53 @@ type FTL struct {
 	l2pLogChip    int   // round-robin chip for log programs
 
 	stats Stats
+	obs   *obs.Recorder // nil when observation is off
+}
+
+// SetRecorder attaches a lifecycle recorder to the FTL and its substrates
+// (NAND array, SLC staging). Passing nil disables observation everywhere.
+func (f *FTL) SetRecorder(r *obs.Recorder) {
+	f.obs = r
+	f.arr.SetRecorder(r)
+	f.staging.SetRecorder(r)
+}
+
+// Recorder returns the attached lifecycle recorder (nil when disabled).
+func (f *FTL) Recorder() *obs.Recorder { return f.obs }
+
+// Telemetry snapshots the recorder's aggregates plus per-resource usage.
+// With observation disabled it returns a zero snapshot.
+func (f *FTL) Telemetry() obs.Telemetry {
+	t := f.obs.Snapshot()
+	if f.obs != nil {
+		t.Resources = f.arr.Engine().Usage()
+	}
+	return t
+}
+
+// record emits one FTL-level lifecycle span (no-op when disabled).
+func (f *FTL) record(stage obs.Stage, cause obs.Cause, begin, end sim.Time, zone int, lba, n int64) {
+	if f.obs == nil {
+		return
+	}
+	f.obs.Record(obs.Event{
+		Stage: stage, Cause: cause, Begin: begin, End: end,
+		Zone: int32(zone), Actor: -1, LBA: lba, N: n,
+	})
+}
+
+// causeOf maps a write-buffer drain reason to the lifecycle cause that
+// qualifies the resulting flush spans.
+func causeOf(r wbuf.Reason) obs.Cause {
+	switch r {
+	case wbuf.ReasonEvict:
+		return obs.CauseZoneConflict
+	case wbuf.ReasonFull:
+		return obs.CauseBufferFull
+	case wbuf.ReasonTake:
+		return obs.CauseHostFlush
+	}
+	return obs.CauseNone
 }
 
 // New builds the FTL and all its substrates over a fresh NAND array.
@@ -417,6 +486,7 @@ func (f *FTL) maybeFlushL2PLog(at sim.Time) (sim.Time, error) {
 	f.l2pLogPending = 0
 	f.stats.L2PLogFlushes++
 	f.stats.L2PLogPages += pages
+	f.record(obs.StageL2PLogFlush, obs.CauseNone, at, done, -1, -1, pages)
 	return done, nil
 }
 

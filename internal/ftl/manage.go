@@ -3,6 +3,7 @@ package ftl
 import (
 	"fmt"
 
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 )
 
@@ -70,6 +71,7 @@ func (f *FTL) ResetZone(at sim.Time, zone int) (sim.Time, error) {
 	// invalidations are implied by it.
 	f.noteMapUpdates(1)
 	f.arr.Engine().Observe(done)
+	f.record(obs.StageZoneReset, obs.CauseNone, at, done, zone, z.Start, f.zoneCap)
 	return done, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/units"
 )
@@ -24,6 +25,7 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 	// flash page cost one sense plus the transfer of the needed sectors.
 	type pageKey struct{ chip, block, page int }
 	pages := make(map[pageKey]int64) // bytes to transfer
+	var order []pageKey              // first-touch order: keeps replay deterministic
 	fetchDone := at
 
 	for i := int64(0); i < n; i++ {
@@ -57,7 +59,11 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 		}
 		ppa := f.geo.PPAOf(addr)
 		out[i] = f.arr.Payload(ppa)
-		pages[pageKey{addr.Chip, addr.Block, addr.Page}] += units.Sector
+		pk := pageKey{addr.Chip, addr.Block, addr.Page}
+		if _, seen := pages[pk]; !seen {
+			order = append(order, pk)
+		}
+		pages[pk] += units.Sector
 	}
 
 	// III: read the data pages. Reads whose mapping had to be fetched
@@ -65,8 +71,8 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 	// batch starts after the slowest fetch, which matches the paper's
 	// observation that misses make read latency unstable.
 	start := fetchDone
-	for pk, bytes := range pages {
-		end, err := f.arr.ReadPage(start, pk.chip, pk.block, pk.page, bytes)
+	for _, pk := range order {
+		end, err := f.arr.ReadPage(start, pk.chip, pk.block, pk.page, pages[pk])
 		if err != nil {
 			return nil, at, err
 		}
@@ -74,11 +80,15 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 			done = end
 		}
 	}
+	if len(pages) > 0 {
+		f.record(obs.StageDataRead, obs.CauseNone, start, done, zone, lba, int64(len(pages)))
+	}
 	if fetchDone > done {
 		done = fetchDone
 	}
 	f.stats.HostReadBytes += n * units.Sector
 	f.arr.Engine().Observe(done)
+	f.record(obs.StageHostRead, obs.CauseNone, at, done, zone, lba, n)
 	return out, done, nil
 }
 
@@ -133,6 +143,18 @@ func (f *FTL) fetchMapping(at sim.Time, lpa int64) (mapping.PSN, sim.Time, bool,
 	}
 	f.stats.MapFetches++
 	f.stats.MapFetchReads += int64(reads)
+	if f.obs != nil {
+		var cause obs.Cause
+		switch f.params.Search {
+		case Bitmap:
+			cause = obs.CauseBitmap
+		case Multiple:
+			cause = obs.CauseMultiple
+		case Pinned:
+			cause = obs.CausePinned
+		}
+		f.record(obs.StageMapFetch, cause, at, done, -1, lpa, int64(reads))
+	}
 	if !ok {
 		return mapping.InvalidPSN, done, false, nil
 	}

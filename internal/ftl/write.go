@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/slc"
 	"github.com/conzone/conzone/internal/units"
@@ -16,6 +17,7 @@ import (
 // flush of that buffer and may trigger premature flushes of a conflicting
 // zone's data.
 func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error) {
+	arrival := at
 	n := int64(len(payloads))
 	zone, err := f.zones.ValidateWrite(lba, n)
 	if err != nil {
@@ -29,7 +31,7 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 	if f.zstate[zone].conv {
 		if start, cnt := f.bufs.Buffered(zone); cnt > 0 && lba != start+cnt {
 			if fl := f.bufs.Take(zone); fl != nil {
-				rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads)
+				rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, obs.CauseConvDrain)
 				if err != nil {
 					return at, fmt.Errorf("ftl: conventional drain of zone %d: %w", fl.Zone, err)
 				}
@@ -44,12 +46,13 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 	// *next* flush of this buffer waits for it (bufAvail above).
 	if ev := f.bufs.Evict(zone); ev != nil {
 		f.stats.PrematureFlushes++
-		rel, done, err := f.flushRun(at, ev.Zone, ev.StartLBA, ev.Payloads)
+		rel, done, err := f.flushRun(at, ev.Zone, ev.StartLBA, ev.Payloads, causeOf(ev.Reason))
 		if err != nil {
 			return at, fmt.Errorf("ftl: premature flush of zone %d: %w", ev.Zone, err)
 		}
 		f.noteFlush(bi, rel)
 		f.arr.Engine().Observe(done)
+		f.record(obs.StagePrematureFlush, causeOf(ev.Reason), at, done, ev.Zone, ev.StartLBA, ev.Sectors())
 	}
 	flushes, err := f.bufs.Append(zone, lba, payloads)
 	if err != nil {
@@ -57,7 +60,7 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 	}
 	release, done := at, at
 	for _, fl := range flushes {
-		rel, d, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads)
+		rel, d, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, causeOf(fl.Reason))
 		if err != nil {
 			return at, fmt.Errorf("ftl: flush of zone %d: %w", fl.Zone, err)
 		}
@@ -84,6 +87,7 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 	}
 	// The host sees the write complete once the buffer accepted it; the
 	// flush continues in the background (bufAvail throttles successors).
+	f.record(obs.StageHostWrite, obs.CauseNone, arrival, at, zone, lba, n)
 	return at, nil
 }
 
@@ -97,7 +101,7 @@ func (f *FTL) Flush(at sim.Time, zone int) (sim.Time, error) {
 	if fl == nil {
 		return at, nil
 	}
-	rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads)
+	rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, causeOf(fl.Reason))
 	if err != nil {
 		return at, err
 	}
@@ -129,7 +133,7 @@ func (f *FTL) FlushAll(at sim.Time) (sim.Time, error) {
 // SLC (②); staged partials that now complete a unit are read back,
 // invalidated and programmed together with the new data (③). Alignment
 // tails (offsets beyond the superblock capacity) go to reserved SLC runs.
-func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte) (release, done sim.Time, err error) {
+func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte, cause obs.Cause) (release, done sim.Time, err error) {
 	z, err := f.zones.Zone(zone)
 	if err != nil {
 		return at, at, err
@@ -141,7 +145,11 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte)
 	if f.zstate[zone].conv {
 		// Conventional zones are SLC-resident and page-mapped; in-place
 		// updates invalidate the previous staged copies.
-		return f.stageConventional(at, zone, startLBA, payloads)
+		release, done, err = f.stageConventional(at, zone, startLBA, payloads)
+		if err == nil {
+			f.record(obs.StageConvStage, cause, at, done, zone, startLBA, int64(len(payloads)))
+		}
+		return release, done, err
 	}
 
 	for n > 0 {
@@ -152,6 +160,7 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte)
 				return at, at, err
 			}
 			f.stats.TailSectors += int64(len(payloads))
+			f.record(obs.StageTailStage, cause, at, d, zone, z.Start+off, int64(len(payloads)))
 			if rel > release {
 				release = rel
 			}
@@ -172,7 +181,7 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte)
 		}
 		seg := payloads[:segLen]
 
-		rel, d, err := f.writeHeadSegment(at, zone, off, seg, off+segLen == puEnd)
+		rel, d, err := f.writeHeadSegment(at, zone, off, seg, off+segLen == puEnd, cause)
 		if err != nil {
 			return at, at, err
 		}
@@ -191,22 +200,36 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte)
 
 // writeHeadSegment places one run confined to a single program unit.
 // completesPU tells whether the run ends exactly at the unit boundary.
-func (f *FTL) writeHeadSegment(at sim.Time, zone int, off int64, seg [][]byte, completesPU bool) (release, done sim.Time, err error) {
+// cause carries why the run was flushed into the recorded spans.
+func (f *FTL) writeHeadSegment(at sim.Time, zone int, off int64, seg [][]byte, completesPU bool, cause obs.Cause) (release, done sim.Time, err error) {
 	zs := &f.zstate[zone]
+	z, _ := f.zones.Zone(zone)
 	puStart := off - off%f.puSectors
 
 	if !completesPU {
 		// Fig. 3 ②: not enough data to program; stage to SLC.
-		return f.stageSectors(at, zone, off, seg)
+		release, done, err = f.stageSectors(at, zone, off, seg)
+		if err == nil {
+			f.record(obs.StageSLCStage, cause, at, done, zone, z.Start+off, int64(len(seg)))
+		}
+		return release, done, err
 	}
 	if off == puStart {
 		// Fig. 3 ①: the run is exactly one full program unit.
-		return f.programPU(at, zone, puStart, seg)
+		release, done, err = f.programPU(at, zone, puStart, seg)
+		if err == nil {
+			f.record(obs.StageDirectPU, cause, at, done, zone, z.Start+puStart, f.puSectors)
+		}
+		return release, done, err
 	}
 	if f.params.DisableCombine {
 		// Ablation: no read-back/merge; the completing data is staged
 		// alongside the earlier partial.
-		return f.stageSectors(at, zone, off, seg)
+		release, done, err = f.stageSectors(at, zone, off, seg)
+		if err == nil {
+			f.record(obs.StageSLCStage, cause, at, done, zone, z.Start+off, int64(len(seg)))
+		}
+		return release, done, err
 	}
 	// Fig. 3 ③: staged head + new tail complete the unit. Read the staged
 	// sectors back, invalidate them, and program the merged unit.
@@ -241,6 +264,7 @@ func (f *FTL) writeHeadSegment(at sim.Time, zone int, off int64, seg [][]byte, c
 	}
 	zs.pend = zs.pend[:0]
 	f.stats.Combines++
+	f.record(obs.StageCombine, cause, at, done, zone, z.Start+puStart, f.puSectors)
 	// The combine runs asynchronously: the controller copies the new
 	// segment into a one-PU SRAM staging buffer, freeing the write buffer
 	// immediately, and performs the read-back + merged program in the

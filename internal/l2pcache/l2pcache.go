@@ -28,6 +28,18 @@ type Stats struct {
 	Covered   int64 // entries evicted because a wider entry covered them
 }
 
+// Delta returns the counter changes from prev to s (interval reporting).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Probes:    s.Probes - prev.Probes,
+		Inserts:   s.Inserts - prev.Inserts,
+		Evictions: s.Evictions - prev.Evictions,
+		Covered:   s.Covered - prev.Covered,
+	}
+}
+
 type key struct {
 	g    mapping.Gran
 	base int64 // aligned base LPA of the entry

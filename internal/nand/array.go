@@ -3,6 +3,7 @@ package nand
 import (
 	"fmt"
 
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/units"
 )
@@ -27,6 +28,20 @@ type Counters struct {
 	BytesProgrammed int64 // payload bytes programmed into media
 }
 
+// Delta returns the counter changes from prev to c (interval reporting).
+func (c Counters) Delta(prev Counters) Counters {
+	return Counters{
+		PageReads:       c.PageReads - prev.PageReads,
+		PUPrograms:      c.PUPrograms - prev.PUPrograms,
+		PartialPrograms: c.PartialPrograms - prev.PartialPrograms,
+		PageProgramsSLC: c.PageProgramsSLC - prev.PageProgramsSLC,
+		MapPrograms:     c.MapPrograms - prev.MapPrograms,
+		Erases:          c.Erases - prev.Erases,
+		BytesRead:       c.BytesRead - prev.BytesRead,
+		BytesProgrammed: c.BytesProgrammed - prev.BytesProgrammed,
+	}
+}
+
 // Array is the flash media model: per-chip and per-channel timing resources
 // plus programmed-state and payload storage.
 type Array struct {
@@ -39,6 +54,7 @@ type Array struct {
 	payload  [][]byte       // per linear sector; nil = no stored payload
 	written  []bool         // per linear sector; programmed at least once since erase
 	counters Counters
+	obs      *obs.Recorder // nil when observation is off
 
 	// lastProgStart models each chip's cache register (cache-program
 	// pipeline): a data transfer for program n+1 may begin once program n
@@ -89,6 +105,20 @@ func (a *Array) Engine() *sim.Engine { return a.engine }
 // Counters returns a snapshot of the media activity counters.
 func (a *Array) Counters() Counters { return a.counters }
 
+// SetRecorder attaches a lifecycle recorder; nil disables media spans.
+func (a *Array) SetRecorder(r *obs.Recorder) { a.obs = r }
+
+// record emits one media span (nil-safe via the recorder).
+func (a *Array) record(stage obs.Stage, begin, end sim.Time, chip int, n int64) {
+	if a.obs == nil {
+		return
+	}
+	a.obs.Record(obs.Event{
+		Stage: stage, Begin: begin, End: end,
+		Zone: -1, Actor: int32(chip), LBA: -1, N: n,
+	})
+}
+
 // EraseCount returns how many times the given per-chip block was erased.
 func (a *Array) EraseCount(chip, block int) int64 {
 	return a.blocks[chip][block].eraseCount
@@ -135,6 +165,7 @@ func (a *Array) ReadPage(at sim.Time, chip, block, page int, xferBytes int64) (s
 	a.counters.PageReads++
 	a.counters.BytesRead += xferBytes
 	a.engine.Observe(done)
+	a.record(obs.StageNANDRead, at, done, chip, xferBytes)
 	return done, nil
 }
 
@@ -153,6 +184,7 @@ func (a *Array) ChargeMapRead(at sim.Time, chip int) (sim.Time, error) {
 	a.counters.PageReads++
 	a.counters.BytesRead += units.Sector
 	a.engine.Observe(done)
+	a.record(obs.StageNANDRead, at, done, chip, units.Sector)
 	return done, nil
 }
 
@@ -213,6 +245,7 @@ func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, payload []byt
 	a.counters.PUPrograms++
 	a.counters.BytesProgrammed += a.geo.ProgramUnit
 	a.engine.Observe(progEnd)
+	a.record(obs.StageNANDProgram, at, progEnd, chip, a.geo.ProgramUnit)
 	return xferEnd, progEnd, nil
 }
 
@@ -260,6 +293,7 @@ func (a *Array) ProgramSLCSector(at sim.Time, chip, block, page, sector int, pay
 	a.counters.PartialPrograms++
 	a.counters.BytesProgrammed += units.Sector
 	a.engine.Observe(progEnd)
+	a.record(obs.StageNANDProgram, at, progEnd, chip, units.Sector)
 	return xferEnd, progEnd, nil
 }
 
@@ -280,6 +314,7 @@ func (a *Array) ChargeMapProgram(at sim.Time, chip int) (sim.Time, error) {
 	a.counters.MapPrograms++
 	a.counters.BytesProgrammed += a.geo.PageSize
 	a.engine.Observe(progEnd)
+	a.record(obs.StageNANDProgram, at, progEnd, chip, a.geo.PageSize)
 	return progEnd, nil
 }
 
@@ -327,6 +362,7 @@ func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, payload []byt
 	a.counters.PageProgramsSLC++
 	a.counters.BytesProgrammed += a.geo.PageSize
 	a.engine.Observe(progEnd)
+	a.record(obs.StageNANDProgram, at, progEnd, chip, a.geo.PageSize)
 	return xferEnd, progEnd, nil
 }
 
@@ -349,6 +385,7 @@ func (a *Array) Erase(at sim.Time, chip, block int) (sim.Time, error) {
 	}
 	a.counters.Erases++
 	a.engine.Observe(end)
+	a.record(obs.StageNANDErase, at, end, chip, 0)
 	return end, nil
 }
 

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/stats"
+)
+
+// StageStats is the aggregated view of one lifecycle stage.
+type StageStats struct {
+	Stage   string           `json:"stage"`
+	Count   int64            `json:"count"`
+	ByCause map[string]int64 `json:"by_cause,omitempty"`
+	Latency stats.Summary    `json:"latency"`
+}
+
+// Telemetry is a self-contained snapshot of a device's observation state:
+// per-stage span counts and latency histogram summaries, cause breakdowns,
+// flight-recorder contents and hardware-resource usage. It marshals to
+// JSON directly and renders itself as Prometheus text exposition or a
+// Chrome Trace Event file.
+type Telemetry struct {
+	Stages    []StageStats        `json:"stages"`
+	Recorded  int64               `json:"events_recorded"`
+	Dropped   int64               `json:"events_dropped"`
+	Resources []sim.ResourceUsage `json:"resources,omitempty"`
+
+	// Events is the retained flight-recorder window, oldest first. It
+	// feeds WriteChromeTrace and is excluded from the JSON metrics
+	// snapshot (a timeline is not a metric).
+	Events []Event `json:"-"`
+}
+
+// Snapshot captures the recorder's current aggregates and ring contents.
+// Nil-safe: a nil recorder yields a zero Telemetry.
+func (r *Recorder) Snapshot() Telemetry {
+	if r == nil {
+		return Telemetry{}
+	}
+	t := Telemetry{
+		Recorded: r.Recorded(),
+		Dropped:  r.Dropped(),
+		Events:   r.Events(),
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if r.counts[s] == 0 {
+			continue
+		}
+		ss := StageStats{
+			Stage:   s.String(),
+			Count:   r.counts[s],
+			Latency: r.hist[s].Summarize(),
+		}
+		for c := Cause(1); c < NumCauses; c++ {
+			if n := r.causes[s][c]; n > 0 {
+				if ss.ByCause == nil {
+					ss.ByCause = make(map[string]int64)
+				}
+				ss.ByCause[c.String()] = n
+			}
+		}
+		t.Stages = append(t.Stages, ss)
+	}
+	return t
+}
+
+// Stage returns the stats of the named stage (zero value when absent).
+func (t Telemetry) Stage(name string) StageStats {
+	for _, s := range t.Stages {
+		if s.Stage == name {
+			return s
+		}
+	}
+	return StageStats{}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (t Telemetry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// seconds renders a virtual duration in Prometheus' base unit.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): per-stage span counters, latency summaries with
+// the usual quantiles, cause-qualified counters, flight-recorder gauges
+// and per-resource busy time. All durations are virtual (simulated) time.
+func (t Telemetry) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP conzone_stage_spans_total Lifecycle spans recorded per stage.\n")
+	p("# TYPE conzone_stage_spans_total counter\n")
+	for _, s := range t.Stages {
+		p("conzone_stage_spans_total{stage=%q} %d\n", s.Stage, s.Count)
+	}
+	p("# HELP conzone_stage_cause_total Lifecycle spans per stage and cause.\n")
+	p("# TYPE conzone_stage_cause_total counter\n")
+	for _, s := range t.Stages {
+		causes := make([]string, 0, len(s.ByCause))
+		for c := range s.ByCause {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			p("conzone_stage_cause_total{stage=%q,cause=%q} %d\n", s.Stage, c, s.ByCause[c])
+		}
+	}
+	p("# HELP conzone_stage_latency_seconds Per-stage latency in simulated seconds.\n")
+	p("# TYPE conzone_stage_latency_seconds summary\n")
+	for _, s := range t.Stages {
+		l := s.Latency
+		for _, q := range []struct {
+			q string
+			v time.Duration
+		}{{"0.5", l.P50}, {"0.95", l.P95}, {"0.99", l.P99}, {"0.999", l.P999}} {
+			p("conzone_stage_latency_seconds{stage=%q,quantile=%q} %g\n", s.Stage, q.q, seconds(q.v))
+		}
+		p("conzone_stage_latency_seconds_sum{stage=%q} %g\n", s.Stage, seconds(l.Sum))
+		p("conzone_stage_latency_seconds_count{stage=%q} %d\n", s.Stage, l.Count)
+	}
+	p("# HELP conzone_events_recorded_total Events ever recorded.\n")
+	p("# TYPE conzone_events_recorded_total counter\n")
+	p("conzone_events_recorded_total %d\n", t.Recorded)
+	p("# HELP conzone_events_dropped_total Events overwritten in the flight-recorder ring.\n")
+	p("# TYPE conzone_events_dropped_total counter\n")
+	p("conzone_events_dropped_total %d\n", t.Dropped)
+	if len(t.Resources) > 0 {
+		p("# HELP conzone_resource_busy_seconds Simulated busy time per hardware resource.\n")
+		p("# TYPE conzone_resource_busy_seconds counter\n")
+		for _, r := range t.Resources {
+			p("conzone_resource_busy_seconds{resource=%q} %g\n", r.Name, seconds(r.BusyTime))
+		}
+		p("# HELP conzone_resource_ops_total Operations reserved per hardware resource.\n")
+		p("# TYPE conzone_resource_ops_total counter\n")
+		for _, r := range t.Resources {
+			p("conzone_resource_ops_total{resource=%q} %d\n", r.Name, r.Ops)
+		}
+		p("# HELP conzone_resource_utilization Busy fraction of the simulated horizon.\n")
+		p("# TYPE conzone_resource_utilization gauge\n")
+		for _, r := range t.Resources {
+			p("conzone_resource_utilization{resource=%q} %g\n", r.Name, r.Utilization)
+		}
+	}
+	return err
+}
+
+// chromeTrack maps a stage to a Chrome Trace tid so that overlapping
+// spans of unrelated stages never share a track. NAND events get one
+// track per chip.
+func chromeTrack(e Event) (tid int, name string) {
+	switch e.Stage {
+	case StageNANDRead, StageNANDProgram, StageNANDErase:
+		chip := int(e.Actor)
+		if chip < 0 {
+			chip = 0
+		}
+		return 100 + chip, fmt.Sprintf("chip %d", chip)
+	case StageHostWrite, StageHostRead:
+		return 0, "host"
+	case StageGCCollect, StageGCMigrate, StageGCErase:
+		return 40 + int(e.Stage), "gc: " + e.Stage.String()
+	default:
+		return 2 + int(e.Stage), "ftl: " + e.Stage.String()
+	}
+}
+
+// chromeEvent is one Trace Event Format entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events as a Chrome Trace Event
+// Format file (JSON object form) loadable in chrome://tracing or Perfetto.
+// Timestamps are the simulated timeline in microseconds.
+func (t Telemetry) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(t.Events)+20)
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "conzone"},
+	})
+	named := make(map[int]bool)
+	for _, e := range t.Events {
+		tid, tname := chromeTrack(e)
+		if !named[tid] {
+			named[tid] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+				Args: map[string]any{"name": tname},
+			})
+			events = append(events, chromeEvent{
+				Name: "thread_sort_index", Phase: "M", PID: 0, TID: tid,
+				Args: map[string]any{"sort_index": tid},
+			})
+		}
+		args := map[string]any{"seq": e.Seq}
+		if e.Cause != CauseNone {
+			args["cause"] = e.Cause.String()
+		}
+		if e.Zone >= 0 {
+			args["zone"] = e.Zone
+		}
+		if e.LBA >= 0 {
+			args["lba"] = e.LBA
+		}
+		if e.N != 0 {
+			args["n"] = e.N
+		}
+		events = append(events, chromeEvent{
+			Name:  e.Stage.String(),
+			Cat:   "conzone",
+			Phase: "X",
+			TS:    float64(e.Begin) / 1e3,
+			Dur:   float64(e.Duration()) / 1e3,
+			PID:   0,
+			TID:   tid,
+			Args:  args,
+		})
+	}
+	return json.NewEncoder(w).Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ns"})
+}

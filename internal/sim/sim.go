@@ -139,6 +139,30 @@ func (e *Engine) Now() Time { return e.now }
 // Resources returns the registered resources in creation order.
 func (e *Engine) Resources() []*Resource { return e.resources }
 
+// ResourceUsage is a reporting snapshot of one resource's accumulated
+// occupancy, exported by telemetry snapshots.
+type ResourceUsage struct {
+	Name        string   `json:"name"`
+	BusyTime    Duration `json:"busy_ns"`
+	Ops         int64    `json:"ops"`
+	Utilization float64  `json:"utilization"` // busy fraction of the observed horizon
+}
+
+// Usage snapshots every registered resource against the engine's current
+// completion watermark as the utilization horizon.
+func (e *Engine) Usage() []ResourceUsage {
+	out := make([]ResourceUsage, 0, len(e.resources))
+	for _, r := range e.resources {
+		out = append(out, ResourceUsage{
+			Name:        r.Name(),
+			BusyTime:    r.BusyTime(),
+			Ops:         r.Ops(),
+			Utilization: r.Utilization(e.now),
+		})
+	}
+	return out
+}
+
 // Reset returns the engine and every registered resource to time zero.
 func (e *Engine) Reset() {
 	e.now = 0

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/units"
 )
@@ -41,6 +42,17 @@ type Stats struct {
 	Erased      int64 // superblocks erased
 }
 
+// Delta returns the counter changes from prev to s (interval reporting).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Staged:      s.Staged - prev.Staged,
+		Migrated:    s.Migrated - prev.Migrated,
+		Invalidated: s.Invalidated - prev.Invalidated,
+		Collections: s.Collections - prev.Collections,
+		Erased:      s.Erased - prev.Erased,
+	}
+}
+
 type superblock struct {
 	validCount int
 	valid      []bool
@@ -62,7 +74,11 @@ type Region struct {
 	pos  int64 // next linear sector inside cur
 
 	stats Stats
+	obs   *obs.Recorder // nil when observation is off
 }
+
+// SetRecorder attaches a lifecycle recorder; nil disables GC spans.
+func (r *Region) SetRecorder(rec *obs.Recorder) { r.obs = rec }
 
 // NewRegion builds a region over the given per-chip block indices, which
 // must all be SLC-mode blocks of the array. At least two superblocks are
@@ -410,16 +426,21 @@ func (r *Region) Payload(idx int64) []byte {
 func (r *Region) ReadSectors(at sim.Time, idxs []int64) (sim.Time, error) {
 	type pageKey struct{ chip, block, page int }
 	pages := make(map[pageKey]int64)
+	var order []pageKey // first-touch order: keeps replay deterministic
 	for _, idx := range idxs {
 		a, err := r.AddrOf(idx)
 		if err != nil {
 			return at, err
 		}
-		pages[pageKey{a.Chip, a.Block, a.Page}] += units.Sector
+		pk := pageKey{a.Chip, a.Block, a.Page}
+		if _, seen := pages[pk]; !seen {
+			order = append(order, pk)
+		}
+		pages[pk] += units.Sector
 	}
 	done := at
-	for pk, bytes := range pages {
-		end, err := r.arr.ReadPage(at, pk.chip, pk.block, pk.page, bytes)
+	for _, pk := range order {
+		end, err := r.arr.ReadPage(at, pk.chip, pk.block, pk.page, pages[pk])
 		if err != nil {
 			return at, err
 		}
@@ -502,11 +523,18 @@ func (r *Region) Collect(at sim.Time, victim int, rel Relocator) (sim.Time, erro
 		}
 		r.stats.Migrated += int64(len(moves))
 		done = progDone
+		if r.obs != nil {
+			r.obs.Record(obs.Event{
+				Stage: obs.StageGCMigrate, Begin: at, End: progDone,
+				Zone: -1, Actor: int32(victim), LBA: -1, N: int64(len(moves)),
+			})
+		}
 	}
 
 	// Erase the victim's block on every chip.
+	eraseStart := done
 	for chip := 0; chip < r.chips; chip++ {
-		end, err := r.arr.Erase(done, chip, r.blocks[victim])
+		end, err := r.arr.Erase(eraseStart, chip, r.blocks[victim])
 		if err != nil {
 			return at, err
 		}
@@ -522,6 +550,16 @@ func (r *Region) Collect(at sim.Time, victim int, rel Relocator) (sim.Time, erro
 	r.free = append(r.free, victim)
 	r.stats.Collections++
 	r.stats.Erased++
+	if r.obs != nil {
+		r.obs.Record(obs.Event{
+			Stage: obs.StageGCErase, Begin: eraseStart, End: done,
+			Zone: -1, Actor: int32(victim), LBA: -1, N: int64(r.chips),
+		})
+		r.obs.Record(obs.Event{
+			Stage: obs.StageGCCollect, Begin: at, End: done,
+			Zone: -1, Actor: int32(victim), LBA: -1, N: int64(len(moves)),
+		})
+	}
 	return done, nil
 }
 

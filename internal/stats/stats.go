@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -31,12 +32,21 @@ const (
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	h := &Histogram{counts: make([][]int64, majorBuckets)}
-	for i := range h.counts {
-		h.counts[i] = make([]int64, subBuckets)
-	}
-	h.min = math.MaxInt64
+	h := &Histogram{}
+	h.init()
 	return h
+}
+
+// init lazily allocates the bucket matrix so that the zero-value
+// Histogram is usable (Record and Merge call it).
+func (h *Histogram) init() {
+	if h.counts == nil {
+		h.counts = make([][]int64, majorBuckets)
+		for i := range h.counts {
+			h.counts[i] = make([]int64, subBuckets)
+		}
+		h.min = math.MaxInt64
+	}
 }
 
 func bucketOf(d time.Duration) (int, int) {
@@ -72,11 +82,13 @@ func valueOf(major, sub int) time.Duration {
 	return time.Duration(us) * time.Microsecond
 }
 
-// Record adds one observation.
+// Record adds one observation. The zero-value Histogram is valid: storage
+// is allocated on first use.
 func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	h.init()
 	major, sub := bucketOf(d)
 	h.counts[major][sub]++
 	h.total++
@@ -149,21 +161,27 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.max
 }
 
-// Merge adds all observations of o into h.
+// Merge adds all observations of o into h. An empty or nil o is a no-op;
+// an empty receiver (including the zero value) adopts o's min rather than
+// keeping its uninitialised sentinel.
 func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	h.init()
 	for i := range o.counts {
 		for j, c := range o.counts[i] {
 			h.counts[i][j] += c
 		}
 	}
-	h.total += o.total
-	h.sum += o.sum
-	if o.total > 0 && o.min < h.min {
+	if h.total == 0 || o.min < h.min {
 		h.min = o.min
 	}
 	if o.max > h.max {
 		h.max = o.max
 	}
+	h.total += o.total
+	h.sum += o.sum
 }
 
 // Reset clears all recorded observations.
@@ -179,11 +197,40 @@ func (h *Histogram) Reset() {
 	h.max = 0
 }
 
-// Summary is a fixed snapshot of the usual reporting quantiles.
+// Summary is a fixed snapshot of the usual reporting quantiles. All
+// durations marshal to JSON as integer nanoseconds under _ns keys; the
+// marshalled form also carries a human-readable "pretty" rendering.
 type Summary struct {
-	Count               int64
-	Mean, Min, Max      time.Duration
-	P50, P95, P99, P999 time.Duration
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Sum   time.Duration `json:"sum_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+}
+
+// MarshalJSON emits the tagged nanosecond fields plus a "pretty" field
+// with the fio-style String rendering.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	type alias Summary // drops the method, avoiding recursion
+	return json.Marshal(struct {
+		alias
+		Pretty string `json:"pretty"`
+	}{alias(s), s.String()})
+}
+
+// UnmarshalJSON accepts the MarshalJSON form (the extra field is ignored).
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	type alias Summary
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*s = Summary(a)
+	return nil
 }
 
 // Summarize captures the reporting quantiles in one pass-friendly struct.
@@ -193,6 +240,7 @@ func (h *Histogram) Summarize() Summary {
 		Mean:  h.Mean(),
 		Min:   h.Min(),
 		Max:   h.Max(),
+		Sum:   h.Sum(),
 		P50:   h.Percentile(50),
 		P95:   h.Percentile(95),
 		P99:   h.Percentile(99),

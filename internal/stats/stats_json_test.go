@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestZeroValueHistogramUsable(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("zero-value histogram not empty: %+v", h.Summarize())
+	}
+	h.Record(3 * time.Microsecond)
+	if h.Count() != 1 || h.Min() != 3*time.Microsecond {
+		t.Fatalf("zero-value histogram after Record: count=%d min=%v", h.Count(), h.Min())
+	}
+	var h2 Histogram
+	h2.Merge(&h)
+	if h2.Count() != 1 || h2.Min() != 3*time.Microsecond {
+		t.Fatalf("merge into zero-value: count=%d min=%v", h2.Count(), h2.Min())
+	}
+}
+
+func TestMergeIntoEmptyPreservesMin(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	b.Record(500 * time.Microsecond)
+	b.Record(2 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", a.Count())
+	}
+	// The empty receiver's min starts at a sentinel; Merge must take the
+	// source's min rather than comparing against it.
+	if a.Min() != 500*time.Microsecond {
+		t.Fatalf("Min = %v, want 500µs", a.Min())
+	}
+	if a.Max() != 2*time.Millisecond {
+		t.Fatalf("Max = %v, want 2ms", a.Max())
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 50; i++ {
+		h.Record(time.Duration(i) * 100 * time.Microsecond)
+	}
+	s := h.Summarize()
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"count", "mean_ns", "min_ns", "max_ns", "sum_ns", "p50_ns", "p95_ns", "p99_ns", "p999_ns", "pretty"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("marshaled summary missing %q: %s", key, data)
+		}
+	}
+	if raw["pretty"] != s.String() {
+		t.Fatalf("pretty = %v, want %q", raw["pretty"], s.String())
+	}
+
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func TestSummarySum(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	if s := h.Summarize(); s.Sum != 3*time.Millisecond {
+		t.Fatalf("Sum = %v, want 3ms", s.Sum)
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+// Round-trip fidelity under observation: a trace replayed on an observed
+// ConZone device must produce identical telemetry whether the records came
+// straight from memory, through the binary codec, or through the text
+// codec. This pins the codecs to full fidelity (a dropped or reordered
+// record would shift lifecycle spans) and exercises the recorder under a
+// realistic mixed workload.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/obs"
+)
+
+// observeRecords is a mixed workload of conflicting writes, a flush, reads
+// and a reset, sized for the Small configuration's first zones.
+func observeRecords(t *testing.T) []Record {
+	t.Helper()
+	f, err := config.Small().NewConZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc := f.ZoneCapSectors()
+	var recs []Record
+	at := time.Duration(0)
+	// Alternating writes to zones 1 and 3 (shared buffer) — premature
+	// flushes — plus clean writes to zone 2.
+	for r := int64(0); r < 4; r++ {
+		for _, zone := range []int64{1, 3, 2} {
+			recs = append(recs, Record{At: at, Op: OpWrite, LBA: zone*zc + r*12, Sectors: 12})
+			at += 100 * time.Microsecond
+		}
+	}
+	recs = append(recs, Record{At: at, Op: OpFlush})
+	for i := int64(0); i < 8; i++ {
+		recs = append(recs, Record{At: at, Op: OpRead, LBA: zc + i*5, Sectors: 4})
+		at += 50 * time.Microsecond
+	}
+	recs = append(recs, Record{At: at, Op: OpReset, Zone: 3})
+	return recs
+}
+
+// replayObserved runs the records on a fresh observed Small-config device
+// and returns the telemetry snapshot.
+func replayObserved(t *testing.T, recs []Record) obs.Telemetry {
+	t.Helper()
+	f, err := config.Small().NewConZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	f.SetRecorder(rec)
+	if _, err := Replay(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Snapshot()
+}
+
+func sameTelemetry(t *testing.T, got, want obs.Telemetry, codec string) {
+	t.Helper()
+	if got.Recorded != want.Recorded {
+		t.Fatalf("%s round trip: recorded %d events, want %d", codec, got.Recorded, want.Recorded)
+	}
+	if len(got.Stages) != len(want.Stages) {
+		t.Fatalf("%s round trip: %d stages, want %d", codec, len(got.Stages), len(want.Stages))
+	}
+	for i, s := range want.Stages {
+		g := got.Stages[i]
+		if g.Stage != s.Stage || g.Count != s.Count {
+			t.Fatalf("%s round trip: stage %q count %d, want %q count %d",
+				codec, g.Stage, g.Count, s.Stage, s.Count)
+		}
+		if g.Latency != s.Latency {
+			t.Fatalf("%s round trip: stage %q latency %+v, want %+v",
+				codec, g.Stage, g.Latency, s.Latency)
+		}
+	}
+}
+
+func TestRoundTripWithObservation(t *testing.T) {
+	recs := observeRecords(t)
+	want := replayObserved(t, recs)
+	if want.Recorded == 0 {
+		t.Fatal("observed replay recorded nothing; test is vacuous")
+	}
+	if want.Stage("premature_flush").Count == 0 {
+		t.Fatal("workload caused no premature flushes; conflict pattern broken")
+	}
+
+	// Binary round trip.
+	var bin bytes.Buffer
+	w := NewWriter(&bin)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	binRecs, err := NewReader(&bin).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTelemetry(t, replayObserved(t, binRecs), want, "binary")
+
+	// Text round trip.
+	var txt bytes.Buffer
+	if err := EncodeText(&txt, recs); err != nil {
+		t.Fatal(err)
+	}
+	txtRecs, err := DecodeText(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTelemetry(t, replayObserved(t, txtRecs), want, "text")
+}

@@ -17,12 +17,39 @@ import (
 	"github.com/conzone/conzone/internal/units"
 )
 
+// Reason says why a buffer was drained; the FTL's telemetry maps it to a
+// lifecycle cause so premature flushes are attributable.
+type Reason uint8
+
+const (
+	// ReasonFull: the buffer reached one superpage and drained normally.
+	ReasonFull Reason = iota
+	// ReasonEvict: another zone claimed the buffer (premature flush).
+	ReasonEvict
+	// ReasonTake: an explicit drain (sync write, zone finish/close, flush).
+	ReasonTake
+)
+
+// String returns the reason's stable snake_case name.
+func (r Reason) String() string {
+	switch r {
+	case ReasonFull:
+		return "buffer_full"
+	case ReasonEvict:
+		return "zone_conflict"
+	case ReasonTake:
+		return "host_flush"
+	}
+	return fmt.Sprintf("reason_%d", uint8(r))
+}
+
 // Flush is the content evicted or drained from one buffer: a contiguous
 // run of sectors belonging to a single zone.
 type Flush struct {
 	Zone     int
 	StartLBA int64    // first logical sector of the run
 	Payloads [][]byte // one per sector; entries may be nil
+	Reason   Reason   // why the buffer drained
 }
 
 // Sectors returns the run length.
@@ -34,6 +61,16 @@ type Stats struct {
 	FullDrain int64 // flushes because a buffer reached capacity
 	Evictions int64 // flushes because another zone claimed the buffer
 	TakeDrain int64 // explicit drains (sync/close/finish)
+}
+
+// Delta returns the counter changes from prev to s (interval reporting).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Appended:  s.Appended - prev.Appended,
+		FullDrain: s.FullDrain - prev.FullDrain,
+		Evictions: s.Evictions - prev.Evictions,
+		TakeDrain: s.TakeDrain - prev.TakeDrain,
+	}
 }
 
 type buffer struct {
@@ -101,12 +138,12 @@ func (m *Manager) Evict(zone int) *Flush {
 		return nil
 	}
 	m.stats.Evictions++
-	return m.drain(m.BufferIndex(zone))
+	return m.drain(m.BufferIndex(zone), ReasonEvict)
 }
 
-func (m *Manager) drain(i int) *Flush {
+func (m *Manager) drain(i int, why Reason) *Flush {
 	b := &m.bufs[i]
-	f := &Flush{Zone: b.zone, StartLBA: b.startLBA, Payloads: b.payloads}
+	f := &Flush{Zone: b.zone, StartLBA: b.startLBA, Payloads: b.payloads, Reason: why}
 	b.zone = -1
 	b.payloads = nil
 	b.startLBA = 0
@@ -151,7 +188,7 @@ func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, erro
 		m.stats.Appended++
 		if int64(len(b.payloads)) == m.cap {
 			m.stats.FullDrain++
-			f := m.drain(i)
+			f := m.drain(i, ReasonFull)
 			out = append(out, f)
 			// Subsequent sectors of this call continue the run.
 			b.zone = zone
@@ -174,7 +211,7 @@ func (m *Manager) Take(zone int) *Flush {
 		return nil
 	}
 	m.stats.TakeDrain++
-	return m.drain(m.BufferIndex(zone))
+	return m.drain(m.BufferIndex(zone), ReasonTake)
 }
 
 // Buffered returns the run currently buffered for the zone (start LBA and
