@@ -5,6 +5,7 @@
 //
 //	conzone-bench [-exp all|table1|table2|fig6a|fig6b|fig7|fig8|ablations] [-quick] [-config file.json]
 //	conzone-bench -metrics [-metrics-json tel.json] [-chrome trace.json]
+//	conzone-bench -qd 1,2,4,8,16 [-quick] [-metrics-json sweep.json]
 package main
 
 import (
@@ -24,8 +25,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced I/O volumes for a fast run")
 	cfgPath := flag.String("config", "", "device configuration JSON (default: the paper's §IV-A setup)")
 	metrics := flag.Bool("metrics", false, "run an instrumented workload and print Prometheus-style lifecycle metrics")
-	metricsJSON := flag.String("metrics-json", "", "with -metrics: also write the JSON telemetry snapshot to this file")
+	metricsJSON := flag.String("metrics-json", "", "with -metrics or -qd: also write the JSON results to this file")
 	chromeOut := flag.String("chrome", "", "with -metrics: also write the simulated timeline as a Chrome Trace Event file")
+	qd := flag.String("qd", "", "comma-separated queue depths to sweep through the async host interface (e.g. 1,2,4,8,16)")
 	flag.Parse()
 
 	cfg := config.Paper()
@@ -38,6 +40,16 @@ func main() {
 	}
 	if *metrics {
 		if err := runMetrics(cfg, *metricsJSON, *chromeOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *qd != "" {
+		depths, err := parseDepths(*qd)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runQDSweep(cfg, depths, *metricsJSON, *quick); err != nil {
 			fatal(err)
 		}
 		return

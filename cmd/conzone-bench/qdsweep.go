@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/host"
+	"github.com/conzone/conzone/internal/units"
+	"github.com/conzone/conzone/internal/workload"
+)
+
+// The queue-depth sweep measures what the multi-queue host interface adds
+// over the synchronous API: 4 KiB random reads scale with outstanding
+// commands because independent reads fan out across idle chips, while
+// sequential writes into a single zone stay flat — the zone write lock
+// serializes them no matter how many are queued (mq-deadline semantics).
+
+// qdPoint is one (depth, job) measurement of the sweep.
+type qdPoint struct {
+	Depth int           `json:"depth"`
+	IOPS  float64       `json:"iops"`
+	BW    float64       `json:"bandwidth_mibps"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// qdSweepDoc is the -metrics-json document of a sweep.
+type qdSweepDoc struct {
+	Depths    []int     `json:"depths"`
+	RandRead  []qdPoint `json:"randread_4k"`
+	SeqWrite  []qdPoint `json:"seqwrite_1zone"`
+	ReadScale float64   `json:"read_scaling"`  // IOPS at max depth / IOPS at depth 1
+	WriteVar  float64   `json:"write_scaling"` // BW at max depth / BW at depth 1
+}
+
+// parseDepths parses the -qd flag value ("1,2,4,8,16").
+func parseDepths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad queue depth %q", part)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -qd list")
+	}
+	return out, nil
+}
+
+// newController builds a fresh device and host controller pair for one
+// sweep point, so depths never share media state.
+func newController(cfg config.DeviceConfig, depth int) (*host.Controller, error) {
+	f, err := cfg.NewConZone()
+	if err != nil {
+		return nil, err
+	}
+	hostDepth := depth
+	if hostDepth < host.DefaultDepth {
+		hostDepth = host.DefaultDepth
+	}
+	return host.New(f, host.Config{Queues: 1, Depth: hostDepth})
+}
+
+// runQDSweep measures 4 KiB random reads and single-zone sequential
+// writes at each queue depth, reporting IOPS and completion-latency
+// percentiles per depth.
+func runQDSweep(cfg config.DeviceConfig, depths []int, jsonPath string, quick bool) error {
+	volume := int64(16 * units.MiB)
+	if quick {
+		volume = 4 * units.MiB
+	}
+
+	doc := qdSweepDoc{Depths: depths}
+	header(fmt.Sprintf("Queue-depth sweep (qd %s): 4 KiB randread vs single-zone seqwrite", joinInts(depths)))
+
+	for _, depth := range depths {
+		// Random reads over a prefilled multi-zone region: independent
+		// commands, free to overlap on idle chips.
+		ctrl, err := newController(cfg, depth)
+		if err != nil {
+			return err
+		}
+		zoneBytes := ctrl.ZoneCapSectors() * units.Sector
+		readRange := 4 * zoneBytes
+		if max := ctrl.TotalSectors() * units.Sector; readRange > max {
+			readRange = max
+		}
+		at, err := workload.Prefill(ctrl, 0, 0, readRange, false)
+		if err != nil {
+			return fmt.Errorf("qd %d prefill: %w", depth, err)
+		}
+		res, err := workload.Run(ctrl, workload.Job{
+			Name:             fmt.Sprintf("randread-qd%d", depth),
+			Pattern:          workload.RandRead,
+			BlockBytes:       4 * units.KiB,
+			NumJobs:          1,
+			RangeBytes:       readRange,
+			TotalBytesPerJob: volume,
+			PerOpOverhead:    time.Microsecond,
+			QueueDepth:       depth,
+			Seed:             42,
+			StartAt:          at,
+		})
+		if err != nil {
+			return fmt.Errorf("qd %d randread: %w", depth, err)
+		}
+		doc.RandRead = append(doc.RandRead, qdPoint{
+			Depth: depth, IOPS: res.IOPS, BW: res.BandwidthMiBps,
+			P50: res.Lat.P50, P99: res.Lat.P99,
+		})
+
+		// Sequential writes into one zone: every command targets the same
+		// zone write lock, so depth must not buy throughput.
+		ctrl, err = newController(cfg, depth)
+		if err != nil {
+			return err
+		}
+		wvol := volume
+		if zcap := ctrl.ZoneCapSectors() * units.Sector; wvol > zcap {
+			wvol = units.AlignDown(zcap, 512*units.KiB)
+		}
+		res, err = workload.Run(ctrl, workload.Job{
+			Name:             fmt.Sprintf("seqwrite-qd%d", depth),
+			Pattern:          workload.SeqWrite,
+			BlockBytes:       512 * units.KiB,
+			NumJobs:          1,
+			RangeBytes:       ctrl.ZoneCapSectors() * units.Sector,
+			TotalBytesPerJob: wvol,
+			PerOpOverhead:    time.Microsecond,
+			QueueDepth:       depth,
+			Seed:             42,
+			FlushAtEnd:       true,
+		})
+		if err != nil {
+			return fmt.Errorf("qd %d seqwrite: %w", depth, err)
+		}
+		doc.SeqWrite = append(doc.SeqWrite, qdPoint{
+			Depth: depth, IOPS: res.IOPS, BW: res.BandwidthMiBps,
+			P50: res.Lat.P50, P99: res.Lat.P99,
+		})
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "qd\trandread KIOPS\tp50\tp99\t\tseqwrite MiB/s\tp50\tp99")
+	for i := range depths {
+		r, s := doc.RandRead[i], doc.SeqWrite[i]
+		fmt.Fprintf(w, "%d\t%.1f\t%v\t%v\t\t%.0f\t%v\t%v\n",
+			depths[i], r.IOPS/1000, r.P50, r.P99, s.BW, s.P50, s.P99)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	first, last := doc.RandRead[0], doc.RandRead[len(doc.RandRead)-1]
+	if first.IOPS > 0 {
+		doc.ReadScale = last.IOPS / first.IOPS
+	}
+	wfirst, wlast := doc.SeqWrite[0], doc.SeqWrite[len(doc.SeqWrite)-1]
+	if wfirst.BW > 0 {
+		doc.WriteVar = wlast.BW / wfirst.BW
+	}
+	var checks []string
+	pass := true
+	if len(depths) > 1 && depths[len(depths)-1] > depths[0] {
+		ok := doc.ReadScale > 1.2
+		pass = pass && ok
+		checks = append(checks, fmt.Sprintf("read IOPS scales with queue depth: x%.2f from qd %d to qd %d (want > 1.2) %s",
+			doc.ReadScale, first.Depth, last.Depth, okMark(ok)))
+		ok = doc.WriteVar < 1.2
+		pass = pass && ok
+		checks = append(checks, fmt.Sprintf("single-zone writes stay serialized: x%.2f bandwidth at qd %d (want < 1.2) %s",
+			doc.WriteVar, wlast.Depth, okMark(ok)))
+	}
+	printChecks(checks, pass)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		fmt.Printf("wrote queue-depth sweep JSON to %s\n", jsonPath)
+	}
+	if !pass {
+		return fmt.Errorf("queue-depth sweep checks failed")
+	}
+	return nil
+}
+
+func okMark(ok bool) string {
+	if ok {
+		return "[ok]"
+	}
+	return "[FAIL]"
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/conzone/conzone/internal/confzns"
 	"github.com/conzone/conzone/internal/femu"
 	"github.com/conzone/conzone/internal/ftl"
+	"github.com/conzone/conzone/internal/host"
 	"github.com/conzone/conzone/internal/l2pcache"
 	"github.com/conzone/conzone/internal/legacy"
 	"github.com/conzone/conzone/internal/nand"
@@ -143,24 +144,40 @@ func (s Stats) Delta(prev Stats) Stats {
 // Device is a thread-safe ConZone device with a byte-granular convenience
 // API and an internal virtual clock. All byte offsets and lengths must be
 // multiples of SectorSize.
+//
+// Every operation — including the traditional synchronous methods — flows
+// through the device's multi-queue host interface (internal/host): a
+// synchronous call is simply the queue-depth-1 special case. Asynchronous
+// submitters use Submit/Poll/Wait or an AsyncWriter to keep multiple
+// commands outstanding; see the "Async I/O" section of the README.
 type Device struct {
 	mu  sync.Mutex
 	f   *ftl.FTL
+	h   *host.Controller
 	now sim.Time
 }
 
-// Open builds a ConZone device from the configuration.
+// Open builds a ConZone device from the configuration, with the default
+// host-interface queue layout (use ConfigureQueues to change it).
 func Open(cfg Config) (*Device, error) {
 	f, err := cfg.NewConZone()
 	if err != nil {
 		return nil, err
 	}
-	return &Device{f: f}, nil
+	h, err := host.New(f, host.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &Device{f: f, h: h}, nil
 }
 
 // FTL exposes the underlying flash translation layer for experiment
 // harnesses that need virtual-time control or internal statistics.
 func (d *Device) FTL() *ftl.FTL { return d.f }
+
+// Host exposes the underlying multi-queue host controller for experiment
+// harnesses that drive queues directly with explicit virtual timestamps.
+func (d *Device) Host() *host.Controller { return d.h }
 
 // Capacity returns the device capacity in bytes.
 func (d *Device) Capacity() int64 { return d.f.TotalSectors() * SectorSize }
@@ -211,7 +228,7 @@ func (d *Device) Write(off int64, data []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	done, err := d.f.Write(d.now, off/SectorSize, toSectors(data))
+	done, err := d.h.Write(d.now, off/SectorSize, toSectors(data))
 	if err != nil {
 		return err
 	}
@@ -227,12 +244,30 @@ func (d *Device) WriteAt(at Time, off int64, data []byte) (Time, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	done, err := d.f.Write(at, off/SectorSize, toSectors(data))
+	done, err := d.h.Write(at, off/SectorSize, toSectors(data))
 	if err != nil {
 		return at, err
 	}
 	d.advance(done)
 	return done, nil
+}
+
+// Append performs a Zone Append: the data lands at the zone's current
+// write pointer, chosen by the device, and the assigned byte offset is
+// returned. Unlike Write, concurrent Appends to one zone never race on the
+// write pointer — the device serializes them and reports where each landed.
+func (d *Device) Append(zone int, data []byte) (int64, error) {
+	if err := checkAlign(0, len(data)); err != nil {
+		return -1, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lba, done, err := d.h.Append(d.now, zone, toSectors(data))
+	if err != nil {
+		return -1, err
+	}
+	d.advance(done)
+	return lba * SectorSize, nil
 }
 
 // Read returns n bytes from byte offset off. Unwritten sectors read as
@@ -243,7 +278,7 @@ func (d *Device) Read(off int64, n int) ([]byte, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	sectors, done, err := d.f.Read(d.now, off/SectorSize, int64(n)/SectorSize)
+	sectors, done, err := d.h.Read(d.now, off/SectorSize, int64(n)/SectorSize)
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +300,7 @@ func (d *Device) ReadAt(at Time, off int64, n int) ([][]byte, Time, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	sectors, done, err := d.f.Read(at, off/SectorSize, int64(n)/SectorSize)
+	sectors, done, err := d.h.Read(at, off/SectorSize, int64(n)/SectorSize)
 	if err != nil {
 		return nil, at, err
 	}
@@ -278,7 +313,7 @@ func (d *Device) ReadAt(at Time, off int64, n int) ([][]byte, Time, error) {
 func (d *Device) ResetZone(zone int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	done, err := d.f.ResetZone(d.now, zone)
+	done, err := d.h.ResetZone(d.now, zone)
 	if err != nil {
 		return err
 	}
@@ -290,6 +325,7 @@ func (d *Device) ResetZone(zone int) error {
 func (d *Device) OpenZone(zone int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.advance(d.h.Kick()) // order behind any queued zone-state mutation
 	return d.f.OpenZone(zone)
 }
 
@@ -297,7 +333,7 @@ func (d *Device) OpenZone(zone int) error {
 func (d *Device) CloseZone(zone int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	done, err := d.f.CloseZone(d.now, zone)
+	done, err := d.h.CloseZone(d.now, zone)
 	if err != nil {
 		return err
 	}
@@ -309,7 +345,7 @@ func (d *Device) CloseZone(zone int) error {
 func (d *Device) FinishZone(zone int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	done, err := d.f.FinishZone(d.now, zone)
+	done, err := d.h.FinishZone(d.now, zone)
 	if err != nil {
 		return err
 	}
@@ -322,7 +358,7 @@ func (d *Device) FinishZone(zone int) error {
 func (d *Device) FlushZone(zone int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	done, err := d.f.Flush(d.now, zone)
+	done, err := d.h.Flush(d.now, zone)
 	if err != nil {
 		return err
 	}
@@ -330,11 +366,12 @@ func (d *Device) FlushZone(zone int) error {
 	return nil
 }
 
-// Flush drains every write buffer.
+// Flush drains every write buffer (a device-wide write barrier: it waits
+// for every queued write-class command before dispatching).
 func (d *Device) Flush() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	done, err := d.f.FlushAll(d.now)
+	done, err := d.h.FlushAll(d.now)
 	if err != nil {
 		return err
 	}
@@ -342,10 +379,12 @@ func (d *Device) Flush() error {
 	return nil
 }
 
-// Zones returns the zone report (as NVMe Report Zones would).
+// Zones returns the zone report (as NVMe Report Zones would). Queued
+// asynchronous commands are dispatched first so the report is current.
 func (d *Device) Zones() []ZoneInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.advance(d.h.Kick())
 	return d.f.Zones().Report()
 }
 
@@ -353,6 +392,7 @@ func (d *Device) Zones() []ZoneInfo {
 func (d *Device) Zone(id int) (ZoneInfo, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.advance(d.h.Kick())
 	return d.f.Zones().Zone(id)
 }
 
@@ -360,6 +400,7 @@ func (d *Device) Zone(id int) (ZoneInfo, error) {
 func (d *Device) WAF() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.advance(d.h.Kick())
 	return d.f.WAF()
 }
 
@@ -371,6 +412,7 @@ type WearReport = ftl.WearReport
 func (d *Device) Wear() WearReport {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.advance(d.h.Kick())
 	return d.f.Wear()
 }
 
@@ -384,7 +426,11 @@ func (d *Device) Wear() WearReport {
 func (d *Device) CheckInvariants() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return check.Audit(d.f)
+	d.advance(d.h.Kick())
+	if err := check.Audit(d.f); err != nil {
+		return err
+	}
+	return check.AuditHost(d.h)
 }
 
 // Observability types re-exported for telemetry consumers.
@@ -431,6 +477,7 @@ func (d *Device) Telemetry() Telemetry {
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.advance(d.h.Kick())
 	return Stats{
 		FTL:          d.f.Stats(),
 		Cache:        d.f.Cache().Stats(),

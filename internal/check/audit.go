@@ -27,6 +27,10 @@
 //	stats-waf       write-amplification byte accounting identity broken
 //	stats-erase     erase counters inconsistent with per-block/GC counts
 //	stats-map       map-fetch counters inconsistent
+//
+// AuditHost extends the audit across the multi-queue host interface
+// (internal/host) with host-zone-lock, host-append and host-tags; see its
+// documentation.
 package check
 
 import (

@@ -1,0 +1,214 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/conzone/conzone/internal/host"
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// newAuditHost builds a controller with a mix of unreaped completions:
+// queued writes and appends to two zones, plus reads, all dispatched but
+// not reaped — the state AuditHost inspects.
+func newAuditHost(t *testing.T) *host.Controller {
+	t.Helper()
+	f, err := FuzzConfig().NewConZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := host.New(f, host.Config{Queues: 2, Depth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := func(lba, n int64) [][]byte {
+		out := make([][]byte, n)
+		for i := range out {
+			out[i] = payloadFor(lba+int64(i), 1)
+		}
+		return out
+	}
+	sub := func(q int, req host.Request) host.Tag {
+		t.Helper()
+		tag, err := c.Submit(0, q, req)
+		if err != nil {
+			t.Fatalf("submit %v: %v", req.Op, err)
+		}
+		return tag
+	}
+	sub(0, host.Request{Op: host.OpWrite, LBA: 0, Payloads: payloads(0, 8)})
+	sub(0, host.Request{Op: host.OpWrite, LBA: 8, Payloads: payloads(8, 8)})
+	sub(1, host.Request{Op: host.OpAppend, Zone: 1, Payloads: payloads(0, 4)})
+	sub(1, host.Request{Op: host.OpAppend, Zone: 1, Payloads: payloads(4, 4)})
+	sub(0, host.Request{Op: host.OpRead, LBA: 0, N: 4})
+	c.Kick()
+	if err := AuditHost(c); err != nil {
+		t.Fatalf("fresh controller should audit clean: %v", err)
+	}
+	return c
+}
+
+// wantViolation asserts the audit fails naming the invariant slug.
+func wantHostViolation(t *testing.T, c *host.Controller, slug string) {
+	t.Helper()
+	err := AuditHost(c)
+	if err == nil {
+		t.Fatalf("corruption not detected, want audit[%s]", slug)
+	}
+	if !strings.Contains(err.Error(), "audit["+slug+"]") {
+		t.Fatalf("want audit[%s], got: %v", slug, err)
+	}
+}
+
+// firstOf returns the tag of the first unreaped completion matching op.
+func firstOf(t *testing.T, c *host.Controller, op host.Op) host.Completion {
+	t.Helper()
+	st := c.DebugSnapshot()
+	for _, cq := range st.Completions {
+		for _, comp := range cq {
+			if comp.Op == op {
+				return comp
+			}
+		}
+	}
+	t.Fatalf("no unreaped %v completion", op)
+	return host.Completion{}
+}
+
+func TestAuditHostCleanAfterReap(t *testing.T) {
+	c := newAuditHost(t)
+	c.Poll(0, 0)
+	c.Poll(1, 0)
+	if err := AuditHost(c); err != nil {
+		t.Fatalf("drained controller should audit clean: %v", err)
+	}
+}
+
+func TestAuditHostDetectsZoneLockOverlap(t *testing.T) {
+	c := newAuditHost(t)
+	// Rewrite the second zone-0 write's in-flight interval so it overlaps
+	// the first: two concurrent write-class commands in one zone.
+	st := c.DebugSnapshot()
+	var zone0 []host.Completion
+	for _, cq := range st.Completions {
+		for _, comp := range cq {
+			if comp.Op == host.OpWrite && comp.Zone == 0 {
+				zone0 = append(zone0, comp)
+			}
+		}
+	}
+	if len(zone0) != 2 {
+		t.Fatalf("want 2 unreaped zone-0 writes, have %d", len(zone0))
+	}
+	first := zone0[0]
+	if !c.DebugSetCompletionTimes(zone0[1].Tag, first.Dispatched, first.Done+1) {
+		t.Fatal("corruption hook missed the completion")
+	}
+	wantHostViolation(t, c, "host-zone-lock")
+}
+
+func TestAuditHostDetectsStaleZoneLock(t *testing.T) {
+	c := newAuditHost(t)
+	// A zone's write lock freeing before its own completion means the next
+	// write could dispatch mid-flight. Buffered writes complete at their
+	// dispatch instant, so only a horizon strictly before that trips.
+	c.DebugSetZoneFree(0, -1)
+	wantHostViolation(t, c, "host-zone-lock")
+}
+
+func TestAuditHostDetectsAppendOutsideZone(t *testing.T) {
+	c := newAuditHost(t)
+	comp := firstOf(t, c, host.OpAppend)
+	if !c.DebugSetCompletionLBA(comp.Tag, c.ZoneCapSectors()*4) {
+		t.Fatal("corruption hook missed the completion")
+	}
+	wantHostViolation(t, c, "host-append")
+}
+
+func TestAuditHostDetectsAppendCollision(t *testing.T) {
+	c := newAuditHost(t)
+	// Assign both zone-1 appends the same LBA: the uniqueness the command
+	// exists to guarantee is gone.
+	st := c.DebugSnapshot()
+	var appends []host.Completion
+	for _, cq := range st.Completions {
+		for _, comp := range cq {
+			if comp.Op == host.OpAppend {
+				appends = append(appends, comp)
+			}
+		}
+	}
+	if len(appends) != 2 {
+		t.Fatalf("want 2 unreaped appends, have %d", len(appends))
+	}
+	if !c.DebugSetCompletionLBA(appends[1].Tag, appends[0].LBA) {
+		t.Fatal("corruption hook missed the completion")
+	}
+	wantHostViolation(t, c, "host-append")
+}
+
+func TestAuditHostDetectsOutstandingSkew(t *testing.T) {
+	c := newAuditHost(t)
+	c.DebugAddOutstanding(0, 1)
+	wantHostViolation(t, c, "host-tags")
+}
+
+func TestAuditHostDetectsDuplicateTag(t *testing.T) {
+	c := newAuditHost(t)
+	comp := firstOf(t, c, host.OpRead)
+	if !c.DebugDuplicateCompletion(comp.Tag) {
+		t.Fatal("corruption hook missed the completion")
+	}
+	wantHostViolation(t, c, "host-tags")
+}
+
+func TestAuditHostDetectsFlushAllBarrierViolation(t *testing.T) {
+	f, err := FuzzConfig().NewConZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := host.New(f, host.Config{Queues: 1, Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = payloadFor(int64(i), 1)
+	}
+	if _, err := c.Submit(0, 0, host.Request{Op: host.OpWrite, LBA: 0, Payloads: payloads}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(0, 0, host.Request{Op: host.OpFlush, Zone: -1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Kick()
+	// A flush-all is a barrier against every zone; pulling its interval
+	// under the preceding write breaks host-zone-lock on the write's zone.
+	st := c.DebugSnapshot()
+	var wr, fl host.Completion
+	for _, comp := range st.Completions[0] {
+		switch comp.Op {
+		case host.OpWrite:
+			wr = comp
+		case host.OpFlush:
+			fl = comp
+		}
+	}
+	if wr.Tag == 0 || fl.Tag == 0 {
+		t.Fatal("missing unreaped write or flush completion")
+	}
+	if fl.Done <= fl.Dispatched {
+		t.Fatal("flush-all should take virtual time (it drains a buffered run)")
+	}
+	// Stretch the write's in-flight interval over the flush-all's: the
+	// barrier and a zone-0 write now fly concurrently.
+	if !c.DebugSetCompletionTimes(wr.Tag, fl.Dispatched, fl.Done) {
+		t.Fatal("corruption hook missed the completion")
+	}
+	// Keep zoneFree consistent with the moved write so only the overlap
+	// trips, not the horizon check.
+	for z := 0; z < c.NumZones(); z++ {
+		c.DebugSetZoneFree(z, sim.Time(1<<60))
+	}
+	wantHostViolation(t, c, "host-zone-lock")
+}

@@ -183,6 +183,16 @@ type zoneState struct {
 }
 
 // FTL is the ConZone flash translation layer.
+//
+// Re-entrancy: the FTL is strictly single-entrant. Every entry point
+// (Write, Read, Append, Flush, ResetZone, ...) mutates shared bookkeeping —
+// zone state, write buffers, the mapping table, the virtual-time resources —
+// with no internal locking, and none of them calls back into another entry
+// point except through the documented internal helpers. Exactly one caller
+// may be inside the FTL at a time. The host-interface layer (internal/host)
+// is the intended serialization point: its arbiter dispatches queued
+// commands one at a time in deterministic virtual-time order, and the public
+// Device wraps both behind a single mutex.
 type FTL struct {
 	arr     *nand.Array
 	zones   *zns.Manager

@@ -91,6 +91,26 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 	return at, nil
 }
 
+// Append implements Zone Append (NVMe ZNS): the device, not the host,
+// chooses the in-zone offset. The payloads land at the zone's current
+// write pointer and the assigned start LBA is returned alongside the
+// completion time. The host-interface layer serializes appends to one zone,
+// so the write pointer read here is stable for the duration of the write.
+func (f *FTL) Append(at sim.Time, zone int, payloads [][]byte) (int64, sim.Time, error) {
+	lba, err := f.zones.AppendLBA(zone, int64(len(payloads)))
+	if err != nil {
+		return -1, at, err
+	}
+	done, err := f.Write(at, lba, payloads)
+	if err != nil {
+		return -1, at, err
+	}
+	return lba, done, nil
+}
+
+// ZoneOf maps an LBA to its zone id, or -1 when out of range.
+func (f *FTL) ZoneOf(lba int64) int { return f.zones.ZoneOf(lba) }
+
 // Flush forces the zone's buffered data to media (synchronous flush /
 // cache flush command). Partial programming-unit tails detour through SLC.
 func (f *FTL) Flush(at sim.Time, zone int) (sim.Time, error) {

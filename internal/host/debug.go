@@ -1,0 +1,126 @@
+package host
+
+import "github.com/conzone/conzone/internal/sim"
+
+// This file exposes read-only snapshots of the controller's queueing state
+// for the cross-subsystem invariant auditor (internal/check), plus Debug*
+// mutators that deliberately desynchronize that state so the auditor's
+// corruption-injection tests can prove each invariant actually fires.
+// Nothing here is part of the host API proper.
+
+// PendingInfo describes one submitted, not-yet-dispatched command.
+type PendingInfo struct {
+	Tag       Tag
+	Queue     int
+	Op        Op
+	Zone      int // write-lock target (-1 for reads and flush-alls)
+	Submitted sim.Time
+}
+
+// DebugState is a consistent snapshot of the controller's queueing state.
+type DebugState struct {
+	NextTag     Tag
+	Outstanding []int          // per queue, index Queues() = internal sync queue
+	Pending     []PendingInfo  // undispatched commands, submission order
+	Completions [][]Completion // per-queue completion queues, reap order
+	ZoneFree    []sim.Time     // per-zone write-lock horizon
+	MaxDone     sim.Time
+}
+
+// DebugSnapshot copies the controller's queueing state for auditing.
+func (c *Controller) DebugSnapshot() DebugState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := DebugState{
+		NextTag:     c.nextTag,
+		Outstanding: append([]int(nil), c.out...),
+		ZoneFree:    append([]sim.Time(nil), c.zoneFree...),
+		MaxDone:     c.maxDone,
+	}
+	zoneCap := c.be.ZoneCapSectors()
+	for _, r := range c.pending {
+		st.Pending = append(st.Pending, PendingInfo{
+			Tag: r.tag, Queue: r.queue, Op: r.req.Op,
+			Zone: r.zone(zoneCap), Submitted: r.submitted,
+		})
+	}
+	st.Completions = make([][]Completion, len(c.cqs))
+	for q := range c.cqs {
+		st.Completions[q] = append([]Completion(nil), c.cqs[q]...)
+	}
+	return st
+}
+
+// DebugSetCompletionLBA rewrites the queued completion's assigned LBA,
+// simulating a controller that reported a bogus Zone Append result.
+// Test-only corruption hook; reports whether the tag was found queued.
+func (c *Controller) DebugSetCompletionLBA(tag Tag, lba int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for q := range c.cqs {
+		for i := range c.cqs[q] {
+			if c.cqs[q][i].Tag == tag {
+				c.cqs[q][i].LBA = lba
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DebugSetCompletionTimes rewrites the queued completion's dispatch and
+// completion instants, simulating broken zone write-lock accounting.
+// Test-only corruption hook; reports whether the tag was found queued.
+func (c *Controller) DebugSetCompletionTimes(tag Tag, dispatched, done sim.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for q := range c.cqs {
+		for i := range c.cqs[q] {
+			if c.cqs[q][i].Tag == tag {
+				c.cqs[q][i].Dispatched = dispatched
+				c.cqs[q][i].Done = done
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DebugAddOutstanding skews queue q's outstanding counter by delta,
+// desynchronizing it from the pending set and completion queue contents.
+// Test-only corruption hook.
+func (c *Controller) DebugAddOutstanding(q, delta int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q >= 0 && q < len(c.out) {
+		c.out[q] += delta
+	}
+}
+
+// DebugDuplicateCompletion clones the queued completion under the same tag,
+// simulating a double-completion bug. Test-only corruption hook; reports
+// whether the tag was found queued.
+func (c *Controller) DebugDuplicateCompletion(tag Tag) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for q := range c.cqs {
+		for i := range c.cqs[q] {
+			if c.cqs[q][i].Tag == tag {
+				c.cqs[q] = append(c.cqs[q], c.cqs[q][i])
+				c.out[q]++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DebugSetZoneFree rewrites one zone's write-lock horizon. Test-only
+// corruption hook.
+func (c *Controller) DebugSetZoneFree(zone int, t sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if zone >= 0 && zone < len(c.zoneFree) {
+		c.zoneFree[zone] = t
+	}
+}

@@ -1,0 +1,666 @@
+// Package host implements the NVMe-style asynchronous host interface of the
+// emulator: paired submission/completion queues with configurable queue
+// count and depth, an arbiter that dispatches queued commands into the FTL
+// in virtual time, per-zone write-lock serialization for sequential-write
+// correctness, out-of-order completions, and Zone Append semantics (the
+// device assigns the in-zone offset at dispatch and returns the assigned
+// LBA on completion).
+//
+// # Why a queueing layer
+//
+// The delay-emulation substrate underneath (internal/sim) already models
+// per-chip and per-channel contention, but a strictly synchronous device
+// API can never exhibit the queue-depth effects that dominate real zoned
+// devices: throughput scales with the number of outstanding requests until
+// chips or channels saturate, while writes inside one zone are serialized
+// by the zone write lock (as the mq-deadline scheduler does for ZNS on
+// Linux). The Controller supplies exactly that: requests queue with a
+// virtual submission instant; the arbiter dispatches them in deterministic
+// (ready time, tag) order; reads and writes to distinct zones overlap on
+// idle chips because they are dispatched at the same virtual instant, and
+// writes to one zone wait for the zone's lock.
+//
+// # Determinism
+//
+// Dispatch order is a pure function of the submitted (time, tag) pairs:
+// ties break by tag, never by goroutine schedule. A deterministic submitter
+// (the workload runner, or any single-threaded loop) therefore produces
+// bit-identical media state, completion times and statistics on every run
+// and under every GOMAXPROCS. Concurrent goroutine submitters are safe —
+// the controller is fully locked — but their tag assignment order follows
+// the goroutine schedule, so cross-zone timing may vary run to run; per-zone
+// write ordering is still enforced by the zone locks.
+package host
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/conzone/conzone/internal/obs"
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// Op identifies a queued host command.
+type Op uint8
+
+// Host commands. All but OpRead are "write-class": they mutate zone state
+// and take the target zone's write lock at dispatch.
+const (
+	// OpRead reads N sectors starting at LBA.
+	OpRead Op = iota
+	// OpWrite writes the payload sectors at LBA, which must equal the
+	// target zone's write pointer when the write dispatches.
+	OpWrite
+	// OpAppend writes the payload sectors at the zone's write pointer,
+	// chosen by the device at dispatch; the completion carries the
+	// assigned LBA.
+	OpAppend
+	// OpFlush drains Zone's write buffer (Zone == -1 flushes every zone
+	// and acts as a full write barrier).
+	OpFlush
+	// OpReset resets Zone.
+	OpReset
+	// OpClose closes Zone, draining its buffer.
+	OpClose
+	// OpFinish transitions Zone to FULL, draining its buffer.
+	OpFinish
+
+	numOps
+)
+
+// String names the op as the NVMe command it models.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAppend:
+		return "zone_append"
+	case OpFlush:
+		return "flush"
+	case OpReset:
+		return "zone_reset"
+	case OpClose:
+		return "zone_close"
+	case OpFinish:
+		return "zone_finish"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// WriteClass reports whether the op takes its zone's write lock.
+func (o Op) WriteClass() bool { return o != OpRead }
+
+// Request describes one host command to submit.
+type Request struct {
+	Op       Op
+	LBA      int64    // OpRead/OpWrite: start sector
+	N        int64    // OpRead: sectors to read
+	Zone     int      // OpAppend/OpFlush/OpReset/OpClose/OpFinish target
+	Payloads [][]byte // OpWrite/OpAppend: one entry per sector (entries may be nil)
+}
+
+// Tag identifies a submitted command until its completion is reaped. Tags
+// are assigned in submission order and are unique for the controller's
+// lifetime; 0 is never a valid tag.
+type Tag uint64
+
+// Completion is one finished command, delivered through its submission
+// queue's paired completion queue in virtual completion-time order — which
+// is not submission order: completions are reordered by when the simulated
+// hardware finished them.
+type Completion struct {
+	Tag   Tag
+	Queue int
+	Op    Op
+	Zone  int      // target zone (-1 for a flush-all)
+	LBA   int64    // start sector; for OpAppend the device-assigned LBA
+	N     int64    // sectors the command covered
+	Data  [][]byte // OpRead: per-sector payloads (nil entries = unwritten)
+	Err   error    // the backend's error, if the command failed
+
+	Submitted  sim.Time // when the command entered the submission queue
+	Dispatched sim.Time // when the arbiter handed it to the FTL
+	Done       sim.Time // when the simulated hardware completed it
+}
+
+// Latency returns the command's full virtual submission-to-completion time.
+func (c Completion) Latency() sim.Duration { return c.Done.Sub(c.Submitted) }
+
+// QueueDelay returns the virtual time spent queued before dispatch.
+func (c Completion) QueueDelay() sim.Duration { return c.Dispatched.Sub(c.Submitted) }
+
+// Backend is the device surface the controller dispatches into. *ftl.FTL
+// implements it; the controller owns all serialization, so the backend may
+// be strictly single-entrant.
+type Backend interface {
+	Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error)
+	Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
+	Append(at sim.Time, zone int, payloads [][]byte) (int64, sim.Time, error)
+	Flush(at sim.Time, zone int) (sim.Time, error)
+	FlushAll(at sim.Time) (sim.Time, error)
+	ResetZone(at sim.Time, zone int) (sim.Time, error)
+	CloseZone(at sim.Time, zone int) (sim.Time, error)
+	FinishZone(at sim.Time, zone int) (sim.Time, error)
+	NumZones() int
+	ZoneCapSectors() int64
+	TotalSectors() int64
+	Recorder() *obs.Recorder
+}
+
+// Config sizes the controller's queue pairs.
+type Config struct {
+	Queues int // submission/completion queue pairs (default 4)
+	Depth  int // outstanding commands per queue (default 64)
+}
+
+// Defaults mirroring a small consumer NVMe controller.
+const (
+	DefaultQueues = 4
+	DefaultDepth  = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = DefaultQueues
+	}
+	if c.Depth <= 0 {
+		c.Depth = DefaultDepth
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the target queue already holds
+// Depth outstanding (unreaped) commands.
+var ErrQueueFull = errors.New("host: submission queue full")
+
+// request is a submitted, not-yet-dispatched command.
+type request struct {
+	tag       Tag
+	queue     int
+	submitted sim.Time
+	req       Request
+}
+
+// zone returns the zone the request's write lock targets (-1 for reads and
+// flush-alls, which lock nothing / everything respectively).
+func (r *request) zone(zoneCap int64) int {
+	switch r.req.Op {
+	case OpRead:
+		return -1
+	case OpWrite:
+		return int(r.req.LBA / zoneCap)
+	default:
+		return r.req.Zone
+	}
+}
+
+// Controller is the multi-queue host interface over one backend device.
+// All methods are safe for concurrent use; see the package comment for the
+// determinism contract.
+type Controller struct {
+	mu  sync.Mutex
+	be  Backend
+	cfg Config
+
+	nextTag  Tag
+	pending  []*request     // submitted, undispatched, across all queues
+	cqs      [][]Completion // per-queue completion queues, sorted by (Done, Tag)
+	out      []int          // per-queue outstanding (submitted - reaped)
+	tagQueue map[Tag]int    // unreaped tag -> owning queue
+
+	zoneFree []sim.Time // per-zone write-lock horizon
+	maxDone  sim.Time   // latest completion the controller has produced
+
+	dispatched int64 // commands dispatched for the controller's lifetime
+}
+
+// New builds a controller over the backend. Zero Config fields take the
+// package defaults.
+func New(be Backend, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Queues > 1<<16 {
+		return nil, fmt.Errorf("host: %d queues (max %d)", cfg.Queues, 1<<16)
+	}
+	c := &Controller{
+		be:       be,
+		cfg:      cfg,
+		nextTag:  1,
+		cqs:      make([][]Completion, cfg.Queues+1), // +1: internal sync queue
+		out:      make([]int, cfg.Queues+1),
+		tagQueue: make(map[Tag]int),
+		zoneFree: make([]sim.Time, be.NumZones()),
+	}
+	return c, nil
+}
+
+// Queues returns the number of I/O submission queues.
+func (c *Controller) Queues() int { return c.cfg.Queues }
+
+// Depth returns the per-queue outstanding-command limit.
+func (c *Controller) Depth() int { return c.cfg.Depth }
+
+// syncQueue is the internal queue index used by the synchronous wrappers;
+// it has no depth limit, like an admin queue.
+func (c *Controller) syncQueue() int { return c.cfg.Queues }
+
+// Submit enqueues the request on submission queue q with virtual submission
+// instant at, returning the command's tag. It fails fast with ErrQueueFull
+// when the queue already holds Depth unreaped commands, and with a
+// validation error when the request is malformed; errors the simulated
+// device itself would report (write-pointer mismatch, full zone, ...)
+// arrive asynchronously in the command's Completion.
+func (c *Controller) Submit(at sim.Time, q int, req Request) (Tag, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q < 0 || q >= c.cfg.Queues {
+		return 0, fmt.Errorf("host: queue %d out of range [0,%d)", q, c.cfg.Queues)
+	}
+	if c.out[q] >= c.cfg.Depth {
+		return 0, fmt.Errorf("%w: queue %d holds %d commands", ErrQueueFull, q, c.out[q])
+	}
+	return c.submit(at, q, req)
+}
+
+// submit validates and enqueues with c.mu held.
+func (c *Controller) submit(at sim.Time, q int, req Request) (Tag, error) {
+	if err := c.validate(req); err != nil {
+		return 0, err
+	}
+	tag := c.nextTag
+	c.nextTag++
+	c.pending = append(c.pending, &request{tag: tag, queue: q, submitted: at, req: req})
+	c.out[q]++
+	c.tagQueue[tag] = q
+	return tag, nil
+}
+
+// validate rejects requests the controller cannot even queue: unknown ops,
+// zone ids it cannot lock, writes spanning zones. Everything else is the
+// simulated device's job and surfaces in the Completion.
+func (c *Controller) validate(req Request) error {
+	zoneCap := c.be.ZoneCapSectors()
+	switch req.Op {
+	case OpRead:
+		if req.N <= 0 {
+			return fmt.Errorf("host: read of %d sectors", req.N)
+		}
+		if req.LBA < 0 || req.LBA+req.N > c.be.TotalSectors() {
+			return fmt.Errorf("host: read [%d,%d) outside the namespace", req.LBA, req.LBA+req.N)
+		}
+	case OpWrite:
+		n := int64(len(req.Payloads))
+		if n == 0 {
+			return errors.New("host: write without payload sectors")
+		}
+		if req.LBA < 0 || req.LBA+n > c.be.TotalSectors() {
+			return fmt.Errorf("host: write [%d,%d) outside the namespace", req.LBA, req.LBA+n)
+		}
+		if req.LBA/zoneCap != (req.LBA+n-1)/zoneCap {
+			return fmt.Errorf("host: write [%d,%d) crosses a zone boundary", req.LBA, req.LBA+n)
+		}
+	case OpAppend:
+		if len(req.Payloads) == 0 {
+			return errors.New("host: append without payload sectors")
+		}
+		if req.Zone < 0 || req.Zone >= c.be.NumZones() {
+			return fmt.Errorf("host: append to invalid zone %d", req.Zone)
+		}
+		if int64(len(req.Payloads)) > zoneCap {
+			return fmt.Errorf("host: append of %d sectors exceeds the zone capacity %d", len(req.Payloads), zoneCap)
+		}
+	case OpFlush:
+		if req.Zone < -1 || req.Zone >= c.be.NumZones() {
+			return fmt.Errorf("host: flush of invalid zone %d", req.Zone)
+		}
+	case OpReset, OpClose, OpFinish:
+		if req.Zone < 0 || req.Zone >= c.be.NumZones() {
+			return fmt.Errorf("host: %v of invalid zone %d", req.Op, req.Zone)
+		}
+	default:
+		return fmt.Errorf("host: unknown op %v", req.Op)
+	}
+	return nil
+}
+
+// readyTime returns when the request may dispatch: its submission instant,
+// pushed back by the zone write lock for write-class commands (a flush-all
+// waits for every zone's lock — it is a full write barrier).
+func (c *Controller) readyTime(r *request) sim.Time {
+	ready := r.submitted
+	if !r.req.Op.WriteClass() {
+		return ready
+	}
+	if r.req.Op == OpFlush && r.req.Zone < 0 {
+		for _, t := range c.zoneFree {
+			if t > ready {
+				ready = t
+			}
+		}
+		return ready
+	}
+	if z := r.zone(c.be.ZoneCapSectors()); z >= 0 && z < len(c.zoneFree) && c.zoneFree[z] > ready {
+		ready = c.zoneFree[z]
+	}
+	return ready
+}
+
+// advance is the arbiter: it drains the pending set in deterministic
+// (ready time, tag) order, dispatching each command into the backend and
+// sorting its completion into the owning completion queue. Must be called
+// with c.mu held.
+func (c *Controller) advance() {
+	for len(c.pending) > 0 {
+		best, bestReady := 0, c.readyTime(c.pending[0])
+		for i := 1; i < len(c.pending); i++ {
+			ready := c.readyTime(c.pending[i])
+			if ready < bestReady || (ready == bestReady && c.pending[i].tag < c.pending[best].tag) {
+				best, bestReady = i, ready
+			}
+		}
+		r := c.pending[best]
+		c.pending = append(c.pending[:best], c.pending[best+1:]...)
+		c.dispatch(r, bestReady)
+	}
+}
+
+// dispatch executes one command at its dispatch instant and queues the
+// completion. Must be called with c.mu held.
+func (c *Controller) dispatch(r *request, at sim.Time) {
+	comp := Completion{
+		Tag:        r.tag,
+		Queue:      r.queue,
+		Op:         r.req.Op,
+		Zone:       r.zone(c.be.ZoneCapSectors()),
+		LBA:        r.req.LBA,
+		Submitted:  r.submitted,
+		Dispatched: at,
+	}
+	var done sim.Time
+	var err error
+	switch r.req.Op {
+	case OpRead:
+		comp.N = r.req.N
+		comp.Data, done, err = c.be.Read(at, r.req.LBA, r.req.N)
+	case OpWrite:
+		comp.N = int64(len(r.req.Payloads))
+		done, err = c.be.Write(at, r.req.LBA, r.req.Payloads)
+	case OpAppend:
+		comp.N = int64(len(r.req.Payloads))
+		comp.LBA, done, err = c.be.Append(at, r.req.Zone, r.req.Payloads)
+	case OpFlush:
+		if r.req.Zone < 0 {
+			done, err = c.be.FlushAll(at)
+		} else {
+			done, err = c.be.Flush(at, r.req.Zone)
+		}
+	case OpReset:
+		done, err = c.be.ResetZone(at, r.req.Zone)
+	case OpClose:
+		done, err = c.be.CloseZone(at, r.req.Zone)
+	case OpFinish:
+		done, err = c.be.FinishZone(at, r.req.Zone)
+	}
+	if done < at {
+		done = at
+	}
+	comp.Done, comp.Err = done, err
+	c.dispatched++
+
+	// Release the zone write lock at command completion: the next
+	// write-class command of the zone may dispatch then, and no earlier —
+	// writes inside one zone are serialized, mq-deadline style.
+	if r.req.Op.WriteClass() {
+		if r.req.Op == OpFlush && r.req.Zone < 0 {
+			for z := range c.zoneFree {
+				if done > c.zoneFree[z] {
+					c.zoneFree[z] = done
+				}
+			}
+		} else if z := comp.Zone; z >= 0 && z < len(c.zoneFree) && done > c.zoneFree[z] {
+			c.zoneFree[z] = done
+		}
+	}
+	if done > c.maxDone {
+		c.maxDone = done
+	}
+
+	// The queueing-delay span: submission to dispatch. Nil-safe and
+	// allocation-free when observation is off.
+	c.be.Recorder().Record(obs.Event{
+		Stage: obs.StageHostQueue, Cause: obs.CauseNone,
+		Begin: r.submitted, End: at,
+		Zone: int32(comp.Zone), Actor: int32(r.queue), LBA: comp.LBA, N: comp.N,
+	})
+
+	cq := c.cqs[r.queue]
+	i := sort.Search(len(cq), func(i int) bool {
+		return cq[i].Done > done || (cq[i].Done == done && cq[i].Tag > r.tag)
+	})
+	cq = append(cq, Completion{})
+	copy(cq[i+1:], cq[i:])
+	cq[i] = comp
+	c.cqs[r.queue] = cq
+}
+
+// Poll dispatches everything pending and reaps up to max completions from
+// queue q's completion queue, in virtual completion-time order (ties by
+// tag). Reaping frees the commands' submission-queue slots. max <= 0 reaps
+// everything available.
+func (c *Controller) Poll(q, max int) []Completion {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q < 0 || q >= c.cfg.Queues {
+		return nil
+	}
+	c.advance()
+	return c.reap(q, max)
+}
+
+// reap pops up to max completions from queue q with c.mu held.
+func (c *Controller) reap(q, max int) []Completion {
+	n := len(c.cqs[q])
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Completion, n)
+	copy(out, c.cqs[q][:n])
+	c.cqs[q] = c.cqs[q][n:]
+	c.out[q] -= n
+	for _, comp := range out {
+		delete(c.tagQueue, comp.Tag)
+	}
+	return out
+}
+
+// Wait dispatches everything pending and reaps exactly the given command's
+// completion, leaving every other completion queued for its poller. It
+// reports false for a tag that was never submitted or was already reaped.
+func (c *Controller) Wait(tag Tag) (Completion, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, ok := c.tagQueue[tag]
+	if !ok {
+		return Completion{}, false
+	}
+	c.advance()
+	cq := c.cqs[q]
+	for i := range cq {
+		if cq[i].Tag == tag {
+			comp := cq[i]
+			c.cqs[q] = append(cq[:i], cq[i+1:]...)
+			c.out[q]--
+			delete(c.tagQueue, tag)
+			return comp, true
+		}
+	}
+	return Completion{}, false
+}
+
+// Kick dispatches every pending command without reaping any completion,
+// returning the latest completion instant the controller has produced.
+// Management paths use it as a barrier before touching device state
+// directly.
+func (c *Controller) Kick() sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance()
+	return c.maxDone
+}
+
+// Outstanding returns queue q's submitted-but-unreaped command count.
+func (c *Controller) Outstanding(q int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q < 0 || q > c.cfg.Queues {
+		return 0
+	}
+	return c.out[q]
+}
+
+// Idle reports whether no command is pending or awaiting reap anywhere,
+// including the internal synchronous queue.
+func (c *Controller) Idle() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending) == 0 && len(c.tagQueue) == 0
+}
+
+// MaxDone returns the latest completion instant the controller produced.
+func (c *Controller) MaxDone() sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxDone
+}
+
+// Dispatched returns how many commands the arbiter has dispatched over the
+// controller's lifetime.
+func (c *Controller) Dispatched() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dispatched
+}
+
+// execSync runs one command through the full queue path at depth 1: submit
+// on the internal queue, dispatch everything, reap this command. It is the
+// bridge that keeps the traditional synchronous API a strict special case
+// of the asynchronous one.
+func (c *Controller) execSync(at sim.Time, req Request) (Completion, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tag, err := c.submit(at, c.syncQueue(), req)
+	if err != nil {
+		return Completion{}, err
+	}
+	c.advance()
+	q := c.syncQueue()
+	cq := c.cqs[q]
+	for i := range cq {
+		if cq[i].Tag == tag {
+			comp := cq[i]
+			c.cqs[q] = append(cq[:i], cq[i+1:]...)
+			c.out[q]--
+			delete(c.tagQueue, tag)
+			if comp.Err != nil {
+				return comp, comp.Err
+			}
+			return comp, nil
+		}
+	}
+	// advance() dispatches every pending command, so the completion must
+	// be present; reaching here means controller state is corrupt.
+	panic(fmt.Sprintf("host: completion of tag %d vanished", tag))
+}
+
+// The synchronous wrappers below make the Controller a drop-in
+// workload.Device / workload.Zoned / workload.ZoneFlusher: each call is the
+// QD=1 special case of the queue path, so experiments comparing sync and
+// async traffic exercise the same arbiter, zone locks and instrumentation.
+
+// Write submits a write and waits for its completion.
+func (c *Controller) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpWrite, LBA: lba, Payloads: payloads})
+	if err != nil {
+		return at, err
+	}
+	return comp.Done, nil
+}
+
+// Read submits a read and waits for its data.
+func (c *Controller) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpRead, LBA: lba, N: n})
+	if err != nil {
+		return nil, at, err
+	}
+	return comp.Data, comp.Done, nil
+}
+
+// Append submits a Zone Append and waits for the assigned LBA.
+func (c *Controller) Append(at sim.Time, zone int, payloads [][]byte) (int64, sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpAppend, Zone: zone, Payloads: payloads})
+	if err != nil {
+		return -1, at, err
+	}
+	return comp.LBA, comp.Done, nil
+}
+
+// Flush submits a single-zone flush and waits for it.
+func (c *Controller) Flush(at sim.Time, zone int) (sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpFlush, Zone: zone})
+	if err != nil {
+		return at, err
+	}
+	return comp.Done, nil
+}
+
+// FlushAll submits a device-wide flush barrier and waits for it.
+func (c *Controller) FlushAll(at sim.Time) (sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpFlush, Zone: -1})
+	if err != nil {
+		return at, err
+	}
+	return comp.Done, nil
+}
+
+// ResetZone submits a zone reset and waits for it.
+func (c *Controller) ResetZone(at sim.Time, zone int) (sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpReset, Zone: zone})
+	if err != nil {
+		return at, err
+	}
+	return comp.Done, nil
+}
+
+// CloseZone submits a zone close and waits for it.
+func (c *Controller) CloseZone(at sim.Time, zone int) (sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpClose, Zone: zone})
+	if err != nil {
+		return at, err
+	}
+	return comp.Done, nil
+}
+
+// FinishZone submits a zone finish and waits for it.
+func (c *Controller) FinishZone(at sim.Time, zone int) (sim.Time, error) {
+	comp, err := c.execSync(at, Request{Op: OpFinish, Zone: zone})
+	if err != nil {
+		return at, err
+	}
+	return comp.Done, nil
+}
+
+// NumZones returns the backend's zone count.
+func (c *Controller) NumZones() int { return c.be.NumZones() }
+
+// ZoneCapSectors returns the backend's writable sectors per zone.
+func (c *Controller) ZoneCapSectors() int64 { return c.be.ZoneCapSectors() }
+
+// TotalSectors returns the backend's logical capacity in sectors.
+func (c *Controller) TotalSectors() int64 { return c.be.TotalSectors() }

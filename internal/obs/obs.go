@@ -70,6 +70,11 @@ const (
 	StageNANDRead
 	StageNANDProgram
 	StageNANDErase
+	// StageHostQueue spans a queued host command from submission to
+	// dispatch: the queueing delay the host-interface arbiter imposed
+	// (zone write-lock waits and virtual-time ordering). Actor is the
+	// submission queue, N the command's sectors.
+	StageHostQueue
 
 	// NumStages bounds the per-stage aggregation arrays.
 	NumStages
@@ -94,6 +99,7 @@ var stageNames = [NumStages]string{
 	StageNANDRead:       "nand_read",
 	StageNANDProgram:    "nand_program",
 	StageNANDErase:      "nand_erase",
+	StageHostQueue:      "host_queue",
 }
 
 // String returns the stage's stable snake_case name, used as the metric

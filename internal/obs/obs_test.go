@@ -78,6 +78,38 @@ func TestRecordEnabledNoAllocs(t *testing.T) {
 	}
 }
 
+// TestHostQueueSpanNoAllocs pins the same contract for the host-queue
+// span specifically: internal/host records one event per dispatched
+// command, so it must stay free on both the nil and enabled paths.
+func TestHostQueueSpanNoAllocs(t *testing.T) {
+	e := ev(StageHostQueue, CauseNone, 0, 30*time.Microsecond)
+	var nilRec *Recorder
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nilRec.Record(e)
+	}); allocs != 0 {
+		t.Fatalf("disabled host-queue Record allocates %v per op, want 0", allocs)
+	}
+	r := NewRecorder(64)
+	r.Record(e) // warm lazy histogram init
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(e)
+	}); allocs != 0 {
+		t.Fatalf("enabled host-queue Record allocates %v per op, want 0", allocs)
+	}
+	if got := r.StageCount(StageHostQueue); got == 0 {
+		t.Fatal("host-queue events not counted")
+	}
+	found := false
+	for _, ss := range r.Snapshot().Stages {
+		if ss.Stage == StageHostQueue.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("host-queue stage missing from snapshot")
+	}
+}
+
 func TestRecorderAggregates(t *testing.T) {
 	r := NewRecorder(16)
 	r.Record(ev(StagePrematureFlush, CauseZoneConflict, 0, time.Millisecond))

@@ -88,13 +88,35 @@ type Job struct {
 	PerOpOverhead time.Duration
 
 	// SyncWrites flushes the written zone after every write (O_SYNC), the
-	// consumer-device behaviour the paper highlights.
+	// consumer-device behaviour the paper highlights. Incompatible with
+	// QueueDepth > 1: O_SYNC serializes by definition.
 	SyncWrites bool
+
+	// QueueDepth is each thread's outstanding-command window (fio iodepth).
+	// 0 and 1 both mean synchronous issue; values above 1 require a device
+	// implementing Async and drive its submission queues. The operation
+	// stream of each thread is a pure function of the seed, identical at
+	// every depth — only the submission overlap changes.
+	QueueDepth int
+
+	// Queues is how many host submission queues the threads spread over
+	// (thread i submits on queue i mod Queues). 0 means one queue per
+	// thread, capped at the device's queue count. Only meaningful with
+	// QueueDepth > 1.
+	Queues int
 
 	WithData   bool // carry real payloads
 	FlushAtEnd bool
 	Seed       uint64
 	StartAt    sim.Time
+}
+
+// depth normalises QueueDepth: 0 and 1 are both the synchronous case.
+func (j *Job) depth() int {
+	if j.QueueDepth <= 1 {
+		return 1
+	}
+	return j.QueueDepth
 }
 
 // Validate rejects inconsistent jobs.
@@ -121,6 +143,12 @@ func (j *Job) Validate(dev Device) error {
 		return fmt.Errorf("workload: %d thread offsets for %d jobs", len(j.ThreadOffsets), j.NumJobs)
 	case j.PerOpOverhead < 0:
 		return fmt.Errorf("workload: negative per-op overhead")
+	case j.QueueDepth < 0:
+		return fmt.Errorf("workload: negative queue depth %d", j.QueueDepth)
+	case j.Queues < 0:
+		return fmt.Errorf("workload: negative queue count %d", j.Queues)
+	case j.QueueDepth > 1 && j.SyncWrites:
+		return fmt.Errorf("workload: SyncWrites (O_SYNC) cannot run at queue depth %d", j.QueueDepth)
 	}
 	return nil
 }
@@ -129,6 +157,7 @@ func (j *Job) Validate(dev Device) error {
 type Result struct {
 	Job     string
 	Threads int
+	Depth   int // queue depth the job ran at (1 = synchronous)
 	Bytes   int64
 	Ops     int64
 	Elapsed time.Duration // virtual time from StartAt to the last completion
@@ -158,15 +187,45 @@ type thread struct {
 	doneAtSim sim.Time
 }
 
-// Run executes the job against the device and returns its result.
-func Run(dev Device, job Job) (Result, error) {
-	if err := job.Validate(dev); err != nil {
-		return Result{}, err
+// next generates the thread's next operation: its start LBA, its byte
+// length, and the zone that must be reset before it runs (-1 if none — a
+// wrapped sequential writer re-entering a filled zone resets it first, as
+// fio's zonemode=zbd does). It mutates only the thread's position and RNG
+// state, never its clock, so the operation stream is a pure function of
+// the seed: the synchronous and queued drivers replay identical streams at
+// any queue depth.
+func (th *thread) next(job *Job, zdev Zoned) (lba, opBytes int64, resetZone int) {
+	resetZone = -1
+	opBytes = job.BlockBytes
+	switch job.Pattern {
+	case SeqWrite, SeqRead:
+		if th.seqPos+job.BlockBytes > th.seqEnd {
+			th.seqPos = th.seqStart // wrap, as fio loops
+			th.wrapped = true
+		}
+		lba = th.seqPos / units.Sector
+		// Clamp at zone boundaries, as fio's zonemode=zbd does: a ZNS
+		// operation must not cross into the next zone.
+		if zdev != nil {
+			zb := zdev.ZoneCapSectors() * units.Sector
+			pos := th.seqPos
+			if boundary := pos - pos%zb + zb; pos+opBytes > boundary {
+				opBytes = boundary - pos
+			}
+			if job.Pattern == SeqWrite && th.wrapped && pos%zb == 0 {
+				resetZone = int(pos / zb)
+			}
+		}
+		th.seqPos += opBytes
+	case RandRead, RandWrite:
+		blocks := job.RangeBytes / job.BlockBytes
+		lba = (job.OffsetBytes + th.rng.Int63n(blocks)*job.BlockBytes) / units.Sector
 	}
-	var zoneBytes int64
-	if z, ok := dev.(Zoned); ok {
-		zoneBytes = z.ZoneCapSectors() * units.Sector
-	}
+	return lba, opBytes, resetZone
+}
+
+// makeThreads builds the per-thread position state shared by both drivers.
+func makeThreads(job *Job, zoneBytes int64) ([]*thread, error) {
 	threads := make([]*thread, job.NumJobs)
 	for i := range threads {
 		th := &thread{now: job.StartAt, rng: sim.NewRand(job.Seed + uint64(i)*7919 + 1)}
@@ -185,16 +244,43 @@ func Run(dev Device, job Job) (Result, error) {
 				slice = units.AlignDown(slice, job.BlockBytes)
 			}
 			if slice < job.BlockBytes {
-				return Result{}, fmt.Errorf("workload: range too small to split across %d jobs", job.NumJobs)
+				return nil, fmt.Errorf("workload: range too small to split across %d jobs", job.NumJobs)
 			}
 			th.seqStart = job.OffsetBytes + int64(i)*slice
 			th.seqEnd = th.seqStart + slice
 		}
 		if th.seqStart%units.Sector != 0 {
-			return Result{}, fmt.Errorf("workload: thread %d offset %d unaligned", i, th.seqStart)
+			return nil, fmt.Errorf("workload: thread %d offset %d unaligned", i, th.seqStart)
 		}
 		th.seqPos = th.seqStart
 		threads[i] = th
+	}
+	return threads, nil
+}
+
+// Run executes the job against the device and returns its result. Jobs
+// with QueueDepth > 1 require a device implementing Async and run through
+// the queued driver in runAsync; everything else uses the synchronous
+// driver below (itself the queue-depth-1 case).
+func Run(dev Device, job Job) (Result, error) {
+	if err := job.Validate(dev); err != nil {
+		return Result{}, err
+	}
+	if job.depth() > 1 {
+		adev, ok := dev.(Async)
+		if !ok {
+			return Result{}, fmt.Errorf("workload %s: QueueDepth %d needs an async device, %T is synchronous",
+				job.Name, job.QueueDepth, dev)
+		}
+		return runAsync(adev, job)
+	}
+	var zoneBytes int64
+	if z, ok := dev.(Zoned); ok {
+		zoneBytes = z.ZoneCapSectors() * units.Sector
+	}
+	threads, err := makeThreads(&job, zoneBytes)
+	if err != nil {
+		return Result{}, err
 	}
 
 	lat := stats.NewHistogram()
@@ -222,43 +308,16 @@ func Run(dev Device, job Job) (Result, error) {
 		th := threads[ti]
 		submit := th.now
 
-		var lba int64
-		opBytes := job.BlockBytes
-		switch job.Pattern {
-		case SeqWrite, SeqRead:
-			if th.seqPos+job.BlockBytes > th.seqEnd {
-				th.seqPos = th.seqStart // wrap, as fio loops
-				th.wrapped = true
+		lba, opBytes, resetZone := th.next(&job, zdev)
+		if resetZone >= 0 {
+			d, err := zdev.ResetZone(submit, resetZone)
+			if err != nil {
+				return Result{}, fmt.Errorf("workload %s: wrap reset zone %d: %w", job.Name, resetZone, err)
 			}
-			lba = th.seqPos / units.Sector
-			// Clamp at zone boundaries, as fio's zonemode=zbd does: a ZNS
-			// operation must not cross into the next zone.
-			if zdev != nil {
-				zb := zdev.ZoneCapSectors() * units.Sector
-				pos := th.seqPos
-				if boundary := pos - pos%zb + zb; pos+opBytes > boundary {
-					opBytes = boundary - pos
-				}
-				// A wrapped sequential writer re-enters zones it already
-				// filled; fio's zonemode=zbd resets such a zone before
-				// rewriting it, else the write would not be at the write
-				// pointer.
-				if job.Pattern == SeqWrite && th.wrapped && pos%zb == 0 {
-					zone := int(pos / zb)
-					d, err := zdev.ResetZone(submit, zone)
-					if err != nil {
-						return Result{}, fmt.Errorf("workload %s: wrap reset zone %d: %w", job.Name, zone, err)
-					}
-					if d > submit {
-						submit = d
-					}
-					th.now = submit
-				}
+			if d > submit {
+				submit = d
 			}
-			th.seqPos += opBytes
-		case RandRead, RandWrite:
-			blocks := job.RangeBytes / job.BlockBytes
-			lba = (job.OffsetBytes + th.rng.Int63n(blocks)*job.BlockBytes) / units.Sector
+			th.now = submit
 		}
 
 		var complete sim.Time
@@ -321,6 +380,7 @@ func Run(dev Device, job Job) (Result, error) {
 	return Result{
 		Job:            job.Name,
 		Threads:        job.NumJobs,
+		Depth:          1,
 		Bytes:          totalBytes,
 		Ops:            totalOps,
 		Elapsed:        elapsed,

@@ -281,6 +281,27 @@ func (m *Manager) ValidateWrite(lba, n int64) (int, error) {
 	return id, nil
 }
 
+// AppendLBA returns the LBA a Zone Append of n sectors would be placed at:
+// the zone's current write pointer. It validates the append exactly as
+// ValidateWrite would validate the resulting write (state, capacity,
+// open/active limits) without changing any state. Zone Append is the
+// device-chooses-the-offset write of NVMe ZNS: the host names only the
+// zone, and the assigned LBA is returned on completion, which is what lets
+// multiple appends to one zone stay queued without write-pointer races.
+func (m *Manager) AppendLBA(id int, n int64) (int64, error) {
+	if id < 0 || id >= len(m.zones) {
+		return -1, ErrInvalidZone
+	}
+	z := &m.zones[id]
+	if z.Type == Conventional {
+		return -1, ErrConventional
+	}
+	if _, err := m.ValidateWrite(z.WP, n); err != nil {
+		return -1, err
+	}
+	return z.WP, nil
+}
+
 // CommitWrite advances the write pointer after a validated write and drives
 // the implicit state transitions (Empty/Closed -> ImplicitOpen -> Full).
 func (m *Manager) CommitWrite(lba, n int64) error {
