@@ -6,12 +6,20 @@
 //	conzone-bench [-exp all|table1|table2|fig6a|fig6b|fig7|fig8|ablations] [-quick] [-config file.json]
 //	conzone-bench -metrics [-metrics-json tel.json] [-chrome trace.json]
 //	conzone-bench -qd 1,2,4,8,16 [-quick] [-metrics-json sweep.json]
+//	conzone-bench -selfbench [-json BENCH_emulator.json]
+//
+// Any mode accepts -cpuprofile/-memprofile to write pprof profiles of the
+// run. -selfbench measures the emulator's own wall-clock throughput (ns per
+// emulated 4 KiB I/O) over the internal/emubench workload family; the JSON
+// output is the schema of the repo-root BENCH_emulator.json baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"github.com/conzone/conzone"
@@ -28,7 +36,42 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "with -metrics or -qd: also write the JSON results to this file")
 	chromeOut := flag.String("chrome", "", "with -metrics: also write the simulated timeline as a Chrome Trace Event file")
 	qd := flag.String("qd", "", "comma-separated queue depths to sweep through the async host interface (e.g. 1,2,4,8,16)")
+	selfbench := flag.Bool("selfbench", false, "measure the emulator's own wall-clock throughput (ns per emulated I/O)")
+	jsonOut := flag.String("json", "", "with -selfbench: write the results to this file (e.g. BENCH_emulator.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *selfbench {
+		if err := runSelfBench(*jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := config.Paper()
 	if *cfgPath != "" {

@@ -289,11 +289,17 @@ func (d *Device) Read(off int64, n int) ([]byte, error) {
 			copy(out[int64(i)*SectorSize:], s)
 		}
 	}
+	// The sector buffers were copied out; return them to the host
+	// controller's pool so repeated reads do not allocate.
+	d.h.Recycle(sectors)
 	return out, nil
 }
 
 // ReadAt performs a read at an explicit virtual time, returning per-sector
-// payloads (nil = unwritten) and the completion instant.
+// payloads (nil = unwritten) and the completion instant. A read covering
+// only unwritten sectors returns a nil slice — all zeros. The returned
+// slices are owned by the caller; handing them back via Host().Recycle
+// keeps long read loops allocation-free.
 func (d *Device) ReadAt(at Time, off int64, n int) ([][]byte, Time, error) {
 	if err := checkAlign(off, n); err != nil {
 		return nil, at, err

@@ -185,8 +185,7 @@ func (d *Device) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, err
 	for int64(len(p.payloads)) >= d.puSectors {
 		off := p.start - z.Start
 		addr := d.loc(sb, off)
-		payload := merge(p.payloads[:d.puSectors], d.geo.ProgramUnit)
-		_, dn, err := d.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%d.ppu, payload)
+		_, dn, err := d.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%d.ppu, p.payloads[:d.puSectors])
 		if err != nil {
 			return at, err
 		}
@@ -219,26 +218,6 @@ func (d *Device) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, err
 	d.arr.Engine().Observe(done)
 	// No buffer to hide behind: the host waits for the media.
 	return done.Add(d.jitter()), nil
-}
-
-func merge(sectors [][]byte, puBytes int64) []byte {
-	any := false
-	for _, s := range sectors {
-		if s != nil {
-			any = true
-			break
-		}
-	}
-	if !any {
-		return nil
-	}
-	out := make([]byte, puBytes)
-	for i, s := range sectors {
-		if s != nil {
-			copy(out[int64(i)*units.Sector:], s)
-		}
-	}
-	return out
 }
 
 // Flush is a no-op: there is no volatile buffer to drain (sub-unit tails

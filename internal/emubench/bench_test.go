@@ -1,0 +1,40 @@
+package emubench
+
+import (
+	"testing"
+)
+
+// BenchmarkEmulatorThroughput is the wall-clock throughput family gating
+// emulator performance: one benchmark op is one workload step (an I/O, plus
+// its wrap reset or forced flush where the workload calls for one).
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	for _, spec := range Specs() {
+		b.Run(spec.Name(), Bench(spec))
+	}
+}
+
+// TestRunnerSteadyState drives every spec for a few thousand steps and
+// checks the cross-substrate invariants afterwards, so the benchmark
+// driver itself cannot silently wedge the device into an illegal state.
+func TestRunnerSteadyState(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name(), func(t *testing.T) {
+			r := newRunner(t, spec)
+			steps := 3000
+			if testing.Short() {
+				steps = 500
+			}
+			for i := 0; i < steps; i++ {
+				r.step()
+			}
+			r.drain()
+			if !r.ctrl.Idle() {
+				t.Fatalf("controller not idle after drain")
+			}
+			if err := r.f.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after %d %s steps: %v", steps, spec.Name(), err)
+			}
+		})
+	}
+}

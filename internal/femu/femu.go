@@ -176,33 +176,12 @@ func (d *Device) programPU(at sim.Time, zone int, startLBA int64, sectors [][]by
 	}
 	off := startLBA - z.Start
 	addr := d.loc(zone, off)
-	payload := merge(sectors, d.geo.ProgramUnit)
-	release, done, err = d.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%d.ppu, payload)
+	release, done, err = d.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%d.ppu, sectors)
 	if err != nil {
 		return at, at, err
 	}
 	d.stats.PUPrograms++
 	return release, done, nil
-}
-
-func merge(sectors [][]byte, puBytes int64) []byte {
-	any := false
-	for _, s := range sectors {
-		if s != nil {
-			any = true
-			break
-		}
-	}
-	if !any {
-		return nil
-	}
-	out := make([]byte, puBytes)
-	for i, s := range sectors {
-		if s != nil {
-			copy(out[int64(i)*units.Sector:], s)
-		}
-	}
-	return out
 }
 
 // Flush is a no-op for sub-unit data: FEMU's ZNS mode has no secondary

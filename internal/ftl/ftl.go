@@ -214,13 +214,22 @@ type FTL struct {
 	zstate  []zoneState
 	freeSBs []int // normal superblock ids ready for binding
 
-	// bufFlushQ holds the release times of each buffer's most recent
-	// flushes. A write waits until fewer than flushPipelineDepth flushes
-	// of its buffer are still draining — the controller's internal flush
-	// FIFO (about one superpage) gives one flush of slack beyond the
-	// in-flight one, and this is what makes buffered write bandwidth
-	// converge to the media program rate without idling the chips.
-	bufFlushQ [][]sim.Time
+	// bufFlush holds the release times of each buffer's most recent
+	// flushes, one fixed ring per buffer. A write waits until fewer than
+	// flushPipelineDepth flushes of its buffer are still draining — the
+	// controller's internal flush FIFO (about one superpage) gives one
+	// flush of slack beyond the in-flight one, and this is what makes
+	// buffered write bandwidth converge to the media program rate without
+	// idling the chips.
+	bufFlush []flushRing
+
+	// Reused scratch storage for the single-entrant write path (the FTL's
+	// re-entrancy contract above makes plain fields safe): per-call slices
+	// here would otherwise dominate steady-state allocations.
+	wsScratch  []slc.Write // stage{Sectors,Conventional,TailSectors} builds
+	combineIdx []int64     // combine: pending staged indices
+	combineBuf [][]byte    // combine: merged program-unit sector views
+	readRuns   []pageRun   // ReadInto: per-page media read batching
 
 	l2pLogPending int64 // mapping updates awaiting an L2P-log flush
 	l2pLogChip    int   // round-robin chip for log programs
@@ -366,7 +375,8 @@ func NewWithArray(arr *nand.Array, p Params) (*FTL, error) {
 				p.ConventionalZones, need, have)
 		}
 	}
-	f.bufFlushQ = make([][]sim.Time, p.NumWriteBuffers)
+	f.bufFlush = make([]flushRing, p.NumWriteBuffers)
+	f.combineBuf = make([][]byte, f.puSectors)
 	return f, nil
 }
 
@@ -438,15 +448,24 @@ func (f *FTL) WAF() float64 {
 }
 
 // flushPipelineDepth is how many flushes of one buffer may be draining
-// before a new write to that buffer must wait (see bufFlushQ).
+// before a new write to that buffer must wait (see bufFlush).
 const flushPipelineDepth = 3
+
+// flushRing is one buffer's record of its flushPipelineDepth most recent
+// flush release times — a fixed ring, so noting a flush never allocates.
+// Slot i%depth holds the i-th flush; with n flushes recorded, the oldest
+// retained one (the (n-depth)-th) therefore sits at slot n%depth.
+type flushRing struct {
+	t [flushPipelineDepth]sim.Time
+	n int
+}
 
 // waitFlushSlot returns the earliest time a new flush of buffer bi can be
 // accepted, given the pipeline depth.
 func (f *FTL) waitFlushSlot(bi int, at sim.Time) sim.Time {
-	q := f.bufFlushQ[bi]
-	if len(q) >= flushPipelineDepth {
-		if w := q[len(q)-flushPipelineDepth]; w > at {
+	r := &f.bufFlush[bi]
+	if r.n >= flushPipelineDepth {
+		if w := r.t[r.n%flushPipelineDepth]; w > at {
 			at = w
 		}
 	}
@@ -455,11 +474,9 @@ func (f *FTL) waitFlushSlot(bi int, at sim.Time) sim.Time {
 
 // noteFlush records a flush's release time for buffer bi.
 func (f *FTL) noteFlush(bi int, rel sim.Time) {
-	q := append(f.bufFlushQ[bi], rel)
-	if len(q) > flushPipelineDepth {
-		q = q[len(q)-flushPipelineDepth:]
-	}
-	f.bufFlushQ[bi] = q
+	r := &f.bufFlush[bi]
+	r.t[r.n%flushPipelineDepth] = rel
+	r.n++
 }
 
 // noteMapUpdates accumulates mapping-table changes toward an L2P-log

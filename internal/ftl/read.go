@@ -13,26 +13,49 @@ import (
 // the per-sector payloads (nil entries when the sector was written without
 // payload or never written) and the completion time of the slowest flash
 // operation involved: data page reads plus any L2P mapping fetches.
+//
+// The returned payload entries are borrowed views — media slabs (recycled
+// when the sector is overwritten or its block erased) or write-buffer
+// slices. They are stable until the next device operation; callers keeping
+// the bytes longer must copy them at the host boundary.
 func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
-	zone, err := f.zones.ValidateRead(lba, n)
+	out := make([][]byte, n)
+	done, err := f.ReadInto(at, lba, n, out)
 	if err != nil {
 		return nil, at, err
 	}
-	out := make([][]byte, n)
+	return out, done, nil
+}
+
+// ReadInto is Read with caller-provided payload storage: dst must hold
+// exactly n entries and is filled with the same borrowed views Read would
+// return. It is the allocation-free path the host interface uses for
+// steady-state reads.
+func (f *FTL) ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error) {
+	zone, err := f.zones.ValidateRead(lba, n)
+	if err != nil {
+		return at, err
+	}
+	if int64(len(dst)) != n {
+		return at, fmt.Errorf("ftl: ReadInto dst holds %d entries, want %d", len(dst), n)
+	}
 	done := at
 
 	// Per-page batching of media reads: sectors that resolve to the same
 	// flash page cost one sense plus the transfer of the needed sectors.
-	type pageKey struct{ chip, block, page int }
-	pages := make(map[pageKey]int64) // bytes to transfer
-	var order []pageKey              // first-touch order: keeps replay deterministic
+	// The batch lives in reused scratch (first-touch order, found by linear
+	// scan with a last-run fast path — requests are short and page-sorted)
+	// so replay order matches the old map+order pair without its per-call
+	// allocations.
+	runs := f.readRuns[:0]
 	fetchDone := at
 
 	for i := int64(0); i < n; i++ {
 		l := lba + i
+		dst[i] = nil
 		// Data still in the volatile write buffer is served from RAM.
 		if p, ok := f.bufs.ReadSector(zone, l); ok {
-			out[i] = p
+			dst[i] = p
 			f.stats.BufferReads++
 			continue
 		}
@@ -44,7 +67,7 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 			var ok bool
 			psn, d, ok, err = f.fetchMapping(at, l)
 			if err != nil {
-				return nil, at, err
+				return at, err
 			}
 			if d > fetchDone {
 				fetchDone = d
@@ -55,33 +78,45 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 		}
 		addr, err := f.psnLoc(psn)
 		if err != nil {
-			return nil, at, err
+			return at, err
 		}
 		ppa := f.geo.PPAOf(addr)
-		out[i] = f.arr.Payload(ppa)
-		pk := pageKey{addr.Chip, addr.Block, addr.Page}
-		if _, seen := pages[pk]; !seen {
-			order = append(order, pk)
+		dst[i] = f.arr.Payload(ppa)
+		hit = false
+		if m := len(runs); m > 0 && runs[m-1].chip == addr.Chip && runs[m-1].block == addr.Block && runs[m-1].page == addr.Page {
+			runs[m-1].bytes += units.Sector
+			hit = true
+		} else {
+			for j := range runs {
+				if runs[j].chip == addr.Chip && runs[j].block == addr.Block && runs[j].page == addr.Page {
+					runs[j].bytes += units.Sector
+					hit = true
+					break
+				}
+			}
 		}
-		pages[pk] += units.Sector
+		if !hit {
+			runs = append(runs, pageRun{chip: addr.Chip, block: addr.Block, page: addr.Page, bytes: units.Sector})
+		}
 	}
+	f.readRuns = runs
 
 	// III: read the data pages. Reads whose mapping had to be fetched
 	// cannot start before the fetch completes; for simplicity the whole
 	// batch starts after the slowest fetch, which matches the paper's
 	// observation that misses make read latency unstable.
 	start := fetchDone
-	for _, pk := range order {
-		end, err := f.arr.ReadPage(start, pk.chip, pk.block, pk.page, pages[pk])
+	for j := range runs {
+		end, err := f.arr.ReadPage(start, runs[j].chip, runs[j].block, runs[j].page, runs[j].bytes)
 		if err != nil {
-			return nil, at, err
+			return at, err
 		}
 		if end > done {
 			done = end
 		}
 	}
-	if len(pages) > 0 {
-		f.record(obs.StageDataRead, obs.CauseNone, start, done, zone, lba, int64(len(pages)))
+	if len(runs) > 0 {
+		f.record(obs.StageDataRead, obs.CauseNone, start, done, zone, lba, int64(len(runs)))
 	}
 	if fetchDone > done {
 		done = fetchDone
@@ -89,7 +124,14 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 	f.stats.HostReadBytes += n * units.Sector
 	f.arr.Engine().Observe(done)
 	f.record(obs.StageHostRead, obs.CauseNone, at, done, zone, lba, n)
-	return out, done, nil
+	return done, nil
+}
+
+// pageRun accumulates the transfer bytes of one distinct flash page during
+// ReadInto's per-page batching.
+type pageRun struct {
+	chip, block, page int
+	bytes             int64
 }
 
 // fetchMapping loads the L2P entry covering lpa from the in-flash mapping

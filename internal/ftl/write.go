@@ -257,15 +257,20 @@ func (f *FTL) writeHeadSegment(at sim.Time, zone int, off int64, seg [][]byte, c
 		return at, at, fmt.Errorf("ftl: zone %d pend %d sectors, expected %d",
 			zone, len(zs.pend), off-puStart)
 	}
-	idxs := make([]int64, len(zs.pend))
-	merged := make([][]byte, f.puSectors)
+	// The merged unit borrows the staged sectors' payload slabs plus the
+	// incoming segment's host buffers; programPU copies every view into
+	// pooled media storage before the staged copies are invalidated, so
+	// nothing below retains either.
+	idxs := f.combineIdx[:0]
+	merged := f.combineBuf
 	for i, p := range zs.pend {
 		if p.off != puStart+int64(i) {
 			return at, at, fmt.Errorf("ftl: zone %d pend discontinuity at %d", zone, p.off)
 		}
-		idxs[i] = p.gidx
+		idxs = append(idxs, p.gidx)
 		merged[i] = f.staging.Payload(p.gidx)
 	}
+	f.combineIdx = idxs
 	copy(merged[off-puStart:], seg)
 
 	readDone, err := f.staging.ReadSectors(at, idxs)
@@ -273,6 +278,9 @@ func (f *FTL) writeHeadSegment(at sim.Time, zone int, off int64, seg [][]byte, c
 		return at, at, err
 	}
 	_, done, err = f.programPU(readDone, zone, puStart, merged)
+	for i := range merged {
+		merged[i] = nil // drop borrowed views; scratch is reused next combine
+	}
 	if err != nil {
 		return at, at, err
 	}
@@ -304,8 +312,7 @@ func (f *FTL) programPU(at sim.Time, zone int, puStart int64, sectors [][]byte) 
 	if err != nil {
 		return at, at, err
 	}
-	payload := mergePayload(sectors, f.geo.ProgramUnit)
-	release, done, err = f.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%f.pagesPerPU, payload)
+	release, done, err = f.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%f.pagesPerPU, sectors)
 	if err != nil {
 		return at, at, err
 	}
@@ -331,10 +338,7 @@ func (f *FTL) programPU(at sim.Time, zone int, puStart int64, sectors [][]byte) 
 func (f *FTL) stageSectors(at sim.Time, zone int, off int64, seg [][]byte) (release, done sim.Time, err error) {
 	zs := &f.zstate[zone]
 	z, _ := f.zones.Zone(zone)
-	ws := make([]slc.Write, len(seg))
-	for i := range seg {
-		ws[i] = slc.Write{LPA: z.Start + off + int64(i), Payload: seg[i]}
-	}
+	ws := f.stageWrites(z.Start+off, seg)
 	start := at
 	if !f.staging.HasSpace(int64(len(ws))) {
 		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
@@ -371,10 +375,7 @@ func (f *FTL) stageSectors(at sim.Time, zone int, off int64, seg [][]byte) (rele
 // are dropped.
 func (f *FTL) stageConventional(at sim.Time, zone int, startLBA int64, payloads [][]byte) (release, done sim.Time, err error) {
 	zs := &f.zstate[zone]
-	ws := make([]slc.Write, len(payloads))
-	for i := range payloads {
-		ws[i] = slc.Write{LPA: startLBA + int64(i), Payload: payloads[i]}
-	}
+	ws := f.stageWrites(startLBA, payloads)
 	start := at
 	if !f.staging.HasSpace(int64(len(ws))) {
 		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
@@ -420,10 +421,7 @@ func (f *FTL) stageConventional(at sim.Time, zone int, startLBA int64, payloads 
 func (f *FTL) stageTailSectors(at sim.Time, zone int, off int64, seg [][]byte) (release, done sim.Time, err error) {
 	zs := &f.zstate[zone]
 	z, _ := f.zones.Zone(zone)
-	ws := make([]slc.Write, len(seg))
-	for i := range seg {
-		ws[i] = slc.Write{LPA: z.Start + off + int64(i), Payload: seg[i]}
-	}
+	ws := f.stageWrites(z.Start+off, seg)
 	start := at
 	if !f.staging.HasSpace(int64(len(ws))) {
 		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
@@ -527,27 +525,17 @@ func (f *FTL) fullyMapped(lpa, n int64) bool {
 	return true
 }
 
-// mergePayload flattens per-sector payloads into one program-unit buffer.
-// It returns nil when no sector carries data, so the array can skip
-// payload storage entirely.
-func mergePayload(sectors [][]byte, puBytes int64) []byte {
-	any := false
-	for _, s := range sectors {
-		if s != nil {
-			any = true
-			break
-		}
+// stageWrites builds the staging write list for consecutive LPAs starting
+// at base, one entry per payload, in the FTL's reused scratch slice. The
+// result is valid until the next stage* call — the staging region consumes
+// it synchronously.
+func (f *FTL) stageWrites(base int64, payloads [][]byte) []slc.Write {
+	ws := f.wsScratch[:0]
+	for i := range payloads {
+		ws = append(ws, slc.Write{LPA: base + int64(i), Payload: payloads[i]})
 	}
-	if !any {
-		return nil
-	}
-	out := make([]byte, puBytes)
-	for i, s := range sectors {
-		if s != nil {
-			copy(out[int64(i)*units.Sector:], s)
-		}
-	}
-	return out
+	f.wsScratch = ws
+	return ws
 }
 
 // relocator adapts the FTL to the staging region's GC callback. A staged

@@ -33,6 +33,7 @@
 package host
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -40,6 +41,7 @@ import (
 
 	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
 )
 
 // Op identifies a queued host command.
@@ -117,11 +119,19 @@ type Completion struct {
 	Tag   Tag
 	Queue int
 	Op    Op
-	Zone  int      // target zone (-1 for a flush-all)
-	LBA   int64    // start sector; for OpAppend the device-assigned LBA
-	N     int64    // sectors the command covered
-	Data  [][]byte // OpRead: per-sector payloads (nil entries = unwritten)
-	Err   error    // the backend's error, if the command failed
+	Zone  int   // target zone (-1 for a flush-all)
+	LBA   int64 // start sector; for OpAppend the device-assigned LBA
+	N     int64 // sectors the command covered
+
+	// Data holds an OpRead's per-sector payloads (nil entries = unwritten).
+	// It is nil when the command carries none: writes, failed reads, and
+	// reads covering only unwritten sectors (which read back as zeros).
+	// The controller copies read data out of the device at completion time
+	// — the host boundary — so the slices are owned by the reaper and stay
+	// valid indefinitely. Pass them to Recycle when done to keep the
+	// steady-state read path allocation-free.
+	Data [][]byte
+	Err  error // the backend's error, if the command failed
 
 	Submitted  sim.Time // when the command entered the submission queue
 	Dispatched sim.Time // when the arbiter handed it to the FTL
@@ -184,6 +194,43 @@ type request struct {
 	queue     int
 	submitted sim.Time
 	req       Request
+	zn        int // target zone of the write lock, computed once at submit (-1 for reads)
+
+	// key is the request's heap key: the ready time computed when it was
+	// last sifted. Zone write locks only ever push ready times later, so a
+	// stored key is a lower bound on the true ready time — the arbiter
+	// refreshes the root's key lazily before trusting it (see advance).
+	key sim.Time
+}
+
+// pendingHeap orders undispatched requests by (key, tag) — the same
+// deterministic (ready time, tag) order the former linear min-scan used,
+// at O(log n) per dispatch instead of O(n).
+type pendingHeap []*request
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].tag < h[j].tag
+}
+func (h pendingHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x any)   { *h = append(*h, x.(*request)) }
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// readIntoBackend is the allocation-free read dispatch fast path: the
+// backend fills a caller-provided destination with borrowed views instead
+// of allocating a fresh container per read. *ftl.FTL implements it.
+type readIntoBackend interface {
+	ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error)
 }
 
 // zone returns the zone the request's write lock targets (-1 for reads and
@@ -207,11 +254,26 @@ type Controller struct {
 	be  Backend
 	cfg Config
 
-	nextTag  Tag
-	pending  []*request     // submitted, undispatched, across all queues
-	cqs      [][]Completion // per-queue completion queues, sorted by (Done, Tag)
-	out      []int          // per-queue outstanding (submitted - reaped)
-	tagQueue map[Tag]int    // unreaped tag -> owning queue
+	nextTag Tag
+	pending pendingHeap    // submitted, undispatched, across all queues
+	cqs     [][]Completion // per-queue completion queues, sorted by (Done, Tag)
+	out     []int          // per-queue outstanding (submitted - reaped)
+	unfin   int            // total submitted-but-unreaped, across all queues
+
+	rb readIntoBackend // non-nil when the backend supports ReadInto
+
+	// Cached device geometry (static for the backend's lifetime): avoids an
+	// interface call per validate/readyTime/dispatch on the hot path.
+	zcap   int64
+	total  int64
+	nzones int
+
+	// Freelists keeping the steady-state submit/dispatch/reap cycle
+	// allocation-free: spent request records, read-payload sector buffers
+	// and the [][]byte containers that carry them (returned via Recycle).
+	freeReq  []*request
+	bufFree  [][]byte
+	contFree [][][]byte
 
 	zoneFree []sim.Time // per-zone write-lock horizon
 	maxDone  sim.Time   // latest completion the controller has produced
@@ -232,9 +294,12 @@ func New(be Backend, cfg Config) (*Controller, error) {
 		nextTag:  1,
 		cqs:      make([][]Completion, cfg.Queues+1), // +1: internal sync queue
 		out:      make([]int, cfg.Queues+1),
-		tagQueue: make(map[Tag]int),
 		zoneFree: make([]sim.Time, be.NumZones()),
 	}
+	c.rb, _ = be.(readIntoBackend)
+	c.zcap = be.ZoneCapSectors()
+	c.total = be.TotalSectors()
+	c.nzones = be.NumZones()
 	return c, nil
 }
 
@@ -273,9 +338,20 @@ func (c *Controller) submit(at sim.Time, q int, req Request) (Tag, error) {
 	}
 	tag := c.nextTag
 	c.nextTag++
-	c.pending = append(c.pending, &request{tag: tag, queue: q, submitted: at, req: req})
+	var r *request
+	if n := len(c.freeReq); n > 0 {
+		r = c.freeReq[n-1]
+		c.freeReq[n-1] = nil
+		c.freeReq = c.freeReq[:n-1]
+	} else {
+		r = new(request)
+	}
+	r.tag, r.queue, r.submitted, r.req = tag, q, at, req
+	r.zn = r.zone(c.zcap)
+	r.key = c.readyTime(r)
+	heap.Push(&c.pending, r)
 	c.out[q]++
-	c.tagQueue[tag] = q
+	c.unfin++
 	return tag, nil
 }
 
@@ -283,13 +359,13 @@ func (c *Controller) submit(at sim.Time, q int, req Request) (Tag, error) {
 // zone ids it cannot lock, writes spanning zones. Everything else is the
 // simulated device's job and surfaces in the Completion.
 func (c *Controller) validate(req Request) error {
-	zoneCap := c.be.ZoneCapSectors()
+	zoneCap := c.zcap
 	switch req.Op {
 	case OpRead:
 		if req.N <= 0 {
 			return fmt.Errorf("host: read of %d sectors", req.N)
 		}
-		if req.LBA < 0 || req.LBA+req.N > c.be.TotalSectors() {
+		if req.LBA < 0 || req.LBA+req.N > c.total {
 			return fmt.Errorf("host: read [%d,%d) outside the namespace", req.LBA, req.LBA+req.N)
 		}
 	case OpWrite:
@@ -297,7 +373,7 @@ func (c *Controller) validate(req Request) error {
 		if n == 0 {
 			return errors.New("host: write without payload sectors")
 		}
-		if req.LBA < 0 || req.LBA+n > c.be.TotalSectors() {
+		if req.LBA < 0 || req.LBA+n > c.total {
 			return fmt.Errorf("host: write [%d,%d) outside the namespace", req.LBA, req.LBA+n)
 		}
 		if req.LBA/zoneCap != (req.LBA+n-1)/zoneCap {
@@ -307,18 +383,18 @@ func (c *Controller) validate(req Request) error {
 		if len(req.Payloads) == 0 {
 			return errors.New("host: append without payload sectors")
 		}
-		if req.Zone < 0 || req.Zone >= c.be.NumZones() {
+		if req.Zone < 0 || req.Zone >= c.nzones {
 			return fmt.Errorf("host: append to invalid zone %d", req.Zone)
 		}
 		if int64(len(req.Payloads)) > zoneCap {
 			return fmt.Errorf("host: append of %d sectors exceeds the zone capacity %d", len(req.Payloads), zoneCap)
 		}
 	case OpFlush:
-		if req.Zone < -1 || req.Zone >= c.be.NumZones() {
+		if req.Zone < -1 || req.Zone >= c.nzones {
 			return fmt.Errorf("host: flush of invalid zone %d", req.Zone)
 		}
 	case OpReset, OpClose, OpFinish:
-		if req.Zone < 0 || req.Zone >= c.be.NumZones() {
+		if req.Zone < 0 || req.Zone >= c.nzones {
 			return fmt.Errorf("host: %v of invalid zone %d", req.Op, req.Zone)
 		}
 	default:
@@ -343,7 +419,7 @@ func (c *Controller) readyTime(r *request) sim.Time {
 		}
 		return ready
 	}
-	if z := r.zone(c.be.ZoneCapSectors()); z >= 0 && z < len(c.zoneFree) && c.zoneFree[z] > ready {
+	if z := r.zn; z >= 0 && z < len(c.zoneFree) && c.zoneFree[z] > ready {
 		ready = c.zoneFree[z]
 	}
 	return ready
@@ -353,45 +429,79 @@ func (c *Controller) readyTime(r *request) sim.Time {
 // (ready time, tag) order, dispatching each command into the backend and
 // sorting its completion into the owning completion queue. Must be called
 // with c.mu held.
+//
+// The pending set is a min-heap on (key, tag) where keys are lazily stale:
+// dispatching a write-class command pushes its zone's lock horizon forward,
+// which can invalidate the stored ready times of queued commands — but only
+// ever upward, so each stored key remains a lower bound. Before trusting
+// the root, advance recomputes its ready time; if it moved, the key is
+// updated and the root sifted down (heap.Fix), and the new root is checked
+// in turn. When the root's key is fresh it is no larger than every other
+// element's lower bound, so the root is the true (ready, tag) minimum and
+// dispatch order is identical to the former linear scan's.
 func (c *Controller) advance() {
-	for len(c.pending) > 0 {
-		best, bestReady := 0, c.readyTime(c.pending[0])
-		for i := 1; i < len(c.pending); i++ {
-			ready := c.readyTime(c.pending[i])
-			if ready < bestReady || (ready == bestReady && c.pending[i].tag < c.pending[best].tag) {
-				best, bestReady = i, ready
-			}
+	for c.pending.Len() > 0 {
+		r := c.pending[0]
+		if ready := c.readyTime(r); ready != r.key {
+			r.key = ready
+			heap.Fix(&c.pending, 0)
+			continue
 		}
-		r := c.pending[best]
-		c.pending = append(c.pending[:best], c.pending[best+1:]...)
-		c.dispatch(r, bestReady)
+		heap.Pop(&c.pending)
+		c.dispatch(r, r.key)
+		r.req = Request{} // drop the payload container reference
+		c.freeReq = append(c.freeReq, r)
 	}
 }
 
 // dispatch executes one command at its dispatch instant and queues the
 // completion. Must be called with c.mu held.
 func (c *Controller) dispatch(r *request, at sim.Time) {
-	comp := Completion{
-		Tag:        r.tag,
-		Queue:      r.queue,
-		Op:         r.req.Op,
-		Zone:       r.zone(c.be.ZoneCapSectors()),
-		LBA:        r.req.LBA,
-		Submitted:  r.submitted,
-		Dispatched: at,
-	}
+	zone := r.zn
+	lba := r.req.LBA
+	n := r.req.N
 	var done sim.Time
 	var err error
+	var data [][]byte
 	switch r.req.Op {
 	case OpRead:
-		comp.N = r.req.N
-		comp.Data, done, err = c.be.Read(at, r.req.LBA, r.req.N)
+		if c.rb != nil {
+			// Allocation-free fast path: the backend fills a recycled
+			// container with borrowed device views, and the controller
+			// copies them into pooled sector buffers immediately — while
+			// the views are still valid — so the completion's data is
+			// owned and survives however long the reaper sits on it.
+			data = c.getContainer(int(n))
+			done, err = c.rb.ReadInto(at, lba, n, data)
+			carries := false
+			if err == nil {
+				for i, p := range data {
+					if p == nil {
+						continue
+					}
+					b := c.getSectorBuf()
+					copy(b, p)
+					data[i] = b
+					carries = true
+				}
+			}
+			if err != nil || !carries {
+				// A failed read, or one covering only unwritten sectors
+				// (which read back as zeros), carries no payload: return the
+				// container now and complete with nil Data, so the reaper
+				// has nothing to Recycle.
+				c.contFree = append(c.contFree, data[:0])
+				data = nil
+			}
+		} else {
+			data, done, err = c.be.Read(at, lba, n)
+		}
 	case OpWrite:
-		comp.N = int64(len(r.req.Payloads))
-		done, err = c.be.Write(at, r.req.LBA, r.req.Payloads)
+		n = int64(len(r.req.Payloads))
+		done, err = c.be.Write(at, lba, r.req.Payloads)
 	case OpAppend:
-		comp.N = int64(len(r.req.Payloads))
-		comp.LBA, done, err = c.be.Append(at, r.req.Zone, r.req.Payloads)
+		n = int64(len(r.req.Payloads))
+		lba, done, err = c.be.Append(at, r.req.Zone, r.req.Payloads)
 	case OpFlush:
 		if r.req.Zone < 0 {
 			done, err = c.be.FlushAll(at)
@@ -408,7 +518,6 @@ func (c *Controller) dispatch(r *request, at sim.Time) {
 	if done < at {
 		done = at
 	}
-	comp.Done, comp.Err = done, err
 	c.dispatched++
 
 	// Release the zone write lock at command completion: the next
@@ -421,29 +530,40 @@ func (c *Controller) dispatch(r *request, at sim.Time) {
 					c.zoneFree[z] = done
 				}
 			}
-		} else if z := comp.Zone; z >= 0 && z < len(c.zoneFree) && done > c.zoneFree[z] {
-			c.zoneFree[z] = done
+		} else if zone >= 0 && zone < len(c.zoneFree) && done > c.zoneFree[zone] {
+			c.zoneFree[zone] = done
 		}
 	}
 	if done > c.maxDone {
 		c.maxDone = done
 	}
 
-	// The queueing-delay span: submission to dispatch. Nil-safe and
-	// allocation-free when observation is off.
-	c.be.Recorder().Record(obs.Event{
-		Stage: obs.StageHostQueue, Cause: obs.CauseNone,
-		Begin: r.submitted, End: at,
-		Zone: int32(comp.Zone), Actor: int32(r.queue), LBA: comp.LBA, N: comp.N,
-	})
+	// The queueing-delay span: submission to dispatch. Guarded so the
+	// event struct is not even built when observation is off.
+	if rec := c.be.Recorder(); rec != nil {
+		rec.Record(obs.Event{
+			Stage: obs.StageHostQueue, Cause: obs.CauseNone,
+			Begin: r.submitted, End: at,
+			Zone: int32(zone), Actor: int32(r.queue), LBA: lba, N: n,
+		})
+	}
 
 	cq := c.cqs[r.queue]
-	i := sort.Search(len(cq), func(i int) bool {
-		return cq[i].Done > done || (cq[i].Done == done && cq[i].Tag > r.tag)
-	})
+	i := len(cq)
+	// Completions mostly arrive in (Done, Tag) order already; only fall back
+	// to the binary search when this one sorts before the current tail.
+	if i > 0 && (cq[i-1].Done > done || (cq[i-1].Done == done && cq[i-1].Tag > r.tag)) {
+		i = sort.Search(len(cq), func(i int) bool {
+			return cq[i].Done > done || (cq[i].Done == done && cq[i].Tag > r.tag)
+		})
+	}
 	cq = append(cq, Completion{})
 	copy(cq[i+1:], cq[i:])
-	cq[i] = comp
+	cq[i] = Completion{
+		Tag: r.tag, Queue: r.queue, Op: r.req.Op,
+		Zone: zone, LBA: lba, N: n, Data: data, Err: err,
+		Submitted: r.submitted, Dispatched: at, Done: done,
+	}
 	c.cqs[r.queue] = cq
 }
 
@@ -458,26 +578,94 @@ func (c *Controller) Poll(q, max int) []Completion {
 		return nil
 	}
 	c.advance()
-	return c.reap(q, max)
+	if len(c.cqs[q]) == 0 {
+		return nil
+	}
+	return c.reapInto(q, max, nil)
 }
 
-// reap pops up to max completions from queue q with c.mu held.
-func (c *Controller) reap(q, max int) []Completion {
-	n := len(c.cqs[q])
+// PollInto is Poll appending into a caller-provided slice, so a reap loop
+// that reuses its buffer (and Recycles read data) runs without allocating.
+func (c *Controller) PollInto(q, max int, dst []Completion) []Completion {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q < 0 || q >= c.cfg.Queues {
+		return dst
+	}
+	c.advance()
+	return c.reapInto(q, max, dst)
+}
+
+// reapInto appends up to max completions from queue q to dst with c.mu
+// held, compacting the completion queue in place so its capacity is reused.
+func (c *Controller) reapInto(q, max int, dst []Completion) []Completion {
+	cq := c.cqs[q]
+	n := len(cq)
 	if n == 0 {
-		return nil
+		return dst
 	}
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]Completion, n)
-	copy(out, c.cqs[q][:n])
-	c.cqs[q] = c.cqs[q][n:]
-	c.out[q] -= n
-	for _, comp := range out {
-		delete(c.tagQueue, comp.Tag)
+	dst = append(dst, cq[:n]...)
+	m := copy(cq, cq[n:])
+	for i := m; i < len(cq); i++ {
+		cq[i] = Completion{} // release Data references from the vacated tail
 	}
-	return out
+	c.cqs[q] = cq[:m]
+	c.out[q] -= n
+	c.unfin -= n
+	return dst
+}
+
+// Recycle returns a read completion's Data — the container and its sector
+// buffers — to the controller's pools for reuse by future reads. Only
+// slices taken from a Completion may be passed in, and the caller must not
+// touch them afterwards. Recycling is optional: unreturned buffers are
+// simply garbage collected.
+func (c *Controller) Recycle(data [][]byte) {
+	if data == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range data {
+		if p != nil && int64(len(p)) == units.Sector {
+			c.bufFree = append(c.bufFree, p)
+		}
+		data[i] = nil
+	}
+	c.contFree = append(c.contFree, data[:0])
+}
+
+// getContainer returns an n-entry container with all entries nil, reusing a
+// recycled one when available. Must be called with c.mu held.
+func (c *Controller) getContainer(n int) [][]byte {
+	if k := len(c.contFree); k > 0 {
+		d := c.contFree[k-1]
+		c.contFree[k-1] = nil
+		c.contFree = c.contFree[:k-1]
+		if cap(d) >= n {
+			d = d[:n]
+			for i := range d {
+				d[i] = nil
+			}
+			return d
+		}
+	}
+	return make([][]byte, n)
+}
+
+// getSectorBuf returns a sector-sized payload buffer, reusing a recycled
+// one when available. Must be called with c.mu held.
+func (c *Controller) getSectorBuf() []byte {
+	if k := len(c.bufFree); k > 0 {
+		b := c.bufFree[k-1]
+		c.bufFree[k-1] = nil
+		c.bufFree = c.bufFree[:k-1]
+		return b
+	}
+	return make([]byte, units.Sector)
 }
 
 // Wait dispatches everything pending and reaps exactly the given command's
@@ -486,18 +674,29 @@ func (c *Controller) reap(q, max int) []Completion {
 func (c *Controller) Wait(tag Tag) (Completion, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	q, ok := c.tagQueue[tag]
-	if !ok {
-		return Completion{}, false
-	}
 	c.advance()
+	// After advance every unreaped command sits in some completion queue,
+	// so an exhaustive scan is authoritative: a missing tag was never
+	// submitted or is already reaped.
+	for q := range c.cqs {
+		if comp, ok := c.take(q, tag); ok {
+			return comp, true
+		}
+	}
+	return Completion{}, false
+}
+
+// take removes the tagged completion from queue q with c.mu held.
+func (c *Controller) take(q int, tag Tag) (Completion, bool) {
 	cq := c.cqs[q]
 	for i := range cq {
 		if cq[i].Tag == tag {
 			comp := cq[i]
-			c.cqs[q] = append(cq[:i], cq[i+1:]...)
+			copy(cq[i:], cq[i+1:])
+			cq[len(cq)-1] = Completion{}
+			c.cqs[q] = cq[:len(cq)-1]
 			c.out[q]--
-			delete(c.tagQueue, tag)
+			c.unfin--
 			return comp, true
 		}
 	}
@@ -530,7 +729,7 @@ func (c *Controller) Outstanding(q int) int {
 func (c *Controller) Idle() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.pending) == 0 && len(c.tagQueue) == 0
+	return c.pending.Len() == 0 && c.unfin == 0
 }
 
 // MaxDone returns the latest completion instant the controller produced.
@@ -560,19 +759,11 @@ func (c *Controller) execSync(at sim.Time, req Request) (Completion, error) {
 		return Completion{}, err
 	}
 	c.advance()
-	q := c.syncQueue()
-	cq := c.cqs[q]
-	for i := range cq {
-		if cq[i].Tag == tag {
-			comp := cq[i]
-			c.cqs[q] = append(cq[:i], cq[i+1:]...)
-			c.out[q]--
-			delete(c.tagQueue, tag)
-			if comp.Err != nil {
-				return comp, comp.Err
-			}
-			return comp, nil
+	if comp, ok := c.take(c.syncQueue(), tag); ok {
+		if comp.Err != nil {
+			return comp, comp.Err
 		}
+		return comp, nil
 	}
 	// advance() dispatches every pending command, so the completion must
 	// be present; reaching here means controller state is corrupt.
@@ -593,7 +784,9 @@ func (c *Controller) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time,
 	return comp.Done, nil
 }
 
-// Read submits a read and waits for its data.
+// Read submits a read and waits for its data. The returned slices are
+// owned by the caller; hand them to Recycle when done to keep the read
+// path allocation-free.
 func (c *Controller) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 	comp, err := c.execSync(at, Request{Op: OpRead, LBA: lba, N: n})
 	if err != nil {

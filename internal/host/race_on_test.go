@@ -1,0 +1,5 @@
+//go:build race
+
+package host_test
+
+const raceEnabled = true

@@ -9,10 +9,13 @@
 // paper's read path does. Eviction is LRU; entries inserted pinned (the
 // PINNED search strategy) are never evicted by capacity pressure, and when
 // a wider entry is inserted the narrower entries it covers are dropped.
+//
+// The LRU list is intrusive (prev/next fields inside the entry nodes) and
+// removed nodes go on a freelist for reuse, so the steady-state
+// lookup/insert/evict cycle on the device's read path allocates nothing.
 package l2pcache
 
 import (
-	"container/list"
 	"fmt"
 
 	"github.com/conzone/conzone/internal/mapping"
@@ -40,16 +43,31 @@ func (s Stats) Delta(prev Stats) Stats {
 	}
 }
 
-type key struct {
-	g    mapping.Gran
-	base int64 // aligned base LPA of the entry
+// key packs (granularity, aligned base LPA) into one word so the hash
+// buckets use the runtime's fast integer-keyed map path. Base LPAs are
+// sector indices well below 2^56, so the granularity tag in the top bits
+// never collides with them.
+type key int64
+
+func makeKey(g mapping.Gran, base int64) key {
+	return key(base) | key(g)<<56
 }
 
-type entry struct {
+func (k key) gran() mapping.Gran { return mapping.Gran(k >> 56) }
+func (k key) base() int64        { return int64(k) & (1<<56 - 1) }
+
+// node is one resident entry, threaded on the intrusive LRU ring. Freed
+// nodes are chained through next on the freelist.
+type node struct {
 	key    key
 	psn    mapping.PSN
 	pinned bool
+
+	prev, next *node
 }
+
+// lookupOrder is the paper's probe sequence: widest granularity first.
+var lookupOrder = [...]mapping.Gran{mapping.Zone, mapping.Chunk, mapping.Page}
 
 // Cache is a byte-budgeted, hash-bucketed LRU of L2P entries.
 type Cache struct {
@@ -57,9 +75,14 @@ type Cache struct {
 	entryBytes int64
 	table      *mapping.Table // for granularity spans
 
-	m     map[key]*list.Element
-	lru   *list.List // front = MRU
-	used  int64      // bytes of unpinned+pinned entries
+	m    map[key]*node
+	root node // sentinel: root.next = MRU, root.prev = LRU
+	n    int  // resident entries
+	free *node
+
+	victims []*node // scratch for bounded scans
+
+	used  int64 // bytes of unpinned+pinned entries
 	stats Stats
 }
 
@@ -78,13 +101,14 @@ func New(capBytes, entryBytes int64, table *mapping.Table) (*Cache, error) {
 	if table == nil {
 		return nil, fmt.Errorf("l2pcache: nil mapping table")
 	}
-	return &Cache{
+	c := &Cache{
 		capBytes:   capBytes,
 		entryBytes: entryBytes,
 		table:      table,
-		m:          make(map[key]*list.Element),
-		lru:        list.New(),
-	}, nil
+		m:          make(map[key]*node),
+	}
+	c.root.prev, c.root.next = &c.root, &c.root
+	return c, nil
 }
 
 // Capacity returns the byte budget.
@@ -94,7 +118,7 @@ func (c *Cache) Capacity() int64 { return c.capBytes }
 func (c *Cache) UsedBytes() int64 { return c.used }
 
 // Len returns the number of cached entries.
-func (c *Cache) Len() int { return c.lru.Len() }
+func (c *Cache) Len() int { return c.n }
 
 // MaxEntries returns how many entries fit in the budget.
 func (c *Cache) MaxEntries() int64 { return c.capBytes / c.entryBytes }
@@ -104,21 +128,53 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) keyFor(g mapping.Gran, lpa int64) key {
 	span := c.table.SectorsOf(g)
-	return key{g: g, base: lpa - lpa%span}
+	return makeKey(g, lpa-lpa%span)
+}
+
+// unlink detaches nd from the LRU ring.
+func (nd *node) unlink() {
+	nd.prev.next = nd.next
+	nd.next.prev = nd.prev
+	nd.prev, nd.next = nil, nil
+}
+
+// pushFront makes nd the MRU entry.
+func (c *Cache) pushFront(nd *node) {
+	nd.prev = &c.root
+	nd.next = c.root.next
+	nd.prev.next = nd
+	nd.next.prev = nd
+}
+
+func (c *Cache) moveToFront(nd *node) {
+	if c.root.next == nd {
+		return
+	}
+	nd.unlink()
+	c.pushFront(nd)
+}
+
+// newNode takes a node off the freelist or allocates one.
+func (c *Cache) newNode() *node {
+	if nd := c.free; nd != nil {
+		c.free = nd.next
+		nd.next = nil
+		return nd
+	}
+	return new(node)
 }
 
 // Lookup translates lpa through the cache, probing zone, chunk and page
 // entries in turn. On a hit the entry becomes MRU and the sector's PSN is
 // returned (entry base PSN plus the offset inside the aggregated run).
 func (c *Cache) Lookup(lpa int64) (mapping.PSN, bool) {
-	for _, g := range []mapping.Gran{mapping.Zone, mapping.Chunk, mapping.Page} {
+	for _, g := range lookupOrder {
 		k := c.keyFor(g, lpa)
 		c.stats.Probes++
-		if el, ok := c.m[k]; ok {
-			c.lru.MoveToFront(el)
-			e := el.Value.(*entry)
+		if nd, ok := c.m[k]; ok {
+			c.moveToFront(nd)
 			c.stats.Hits++
-			return e.psn + mapping.PSN(lpa-k.base), true
+			return nd.psn + mapping.PSN(lpa-k.base()), true
 		}
 	}
 	c.stats.Misses++
@@ -140,15 +196,14 @@ func (c *Cache) Contains(g mapping.Gran, lpa int64) bool {
 // inserts always succeed. Returns whether the entry resides in the cache.
 func (c *Cache) Insert(g mapping.Gran, lpa int64, basePSN mapping.PSN, pinned bool) bool {
 	k := c.keyFor(g, lpa)
-	if el, ok := c.m[k]; ok {
-		e := el.Value.(*entry)
-		e.psn = basePSN
-		e.pinned = e.pinned || pinned
-		c.lru.MoveToFront(el)
+	if nd, ok := c.m[k]; ok {
+		nd.psn = basePSN
+		nd.pinned = nd.pinned || pinned
+		c.moveToFront(nd)
 		return true
 	}
 	if g != mapping.Page {
-		c.dropCovered(g, k.base)
+		c.dropCovered(g, k.base())
 	}
 	for c.used+c.entryBytes > c.capBytes {
 		if !c.evictLRU() {
@@ -158,8 +213,11 @@ func (c *Cache) Insert(g mapping.Gran, lpa int64, basePSN mapping.PSN, pinned bo
 			break // pinned entries may transiently exceed the budget
 		}
 	}
-	el := c.lru.PushFront(&entry{key: k, psn: basePSN, pinned: pinned})
-	c.m[k] = el
+	nd := c.newNode()
+	nd.key, nd.psn, nd.pinned = k, basePSN, pinned
+	c.pushFront(nd)
+	c.m[k] = nd
+	c.n++
 	c.used += c.entryBytes
 	c.stats.Inserts++
 	return true
@@ -176,29 +234,32 @@ func (c *Cache) dropCovered(g mapping.Gran, base int64) {
 	if g == mapping.Zone {
 		probes += span / c.table.SectorsOf(mapping.Chunk)
 	}
-	if int64(c.lru.Len()) < probes {
-		var victims []*list.Element
-		for el := c.lru.Front(); el != nil; el = el.Next() {
-			e := el.Value.(*entry)
-			if e.key.g < g && e.key.base >= base && e.key.base < base+span {
-				victims = append(victims, el)
+	if int64(c.n) < probes {
+		victims := c.victims[:0]
+		for nd := c.root.next; nd != &c.root; nd = nd.next {
+			if nd.key.gran() < g && nd.key.base() >= base && nd.key.base() < base+span {
+				victims = append(victims, nd)
 			}
 		}
-		for _, el := range victims {
-			c.remove(el)
+		for i, nd := range victims {
+			c.remove(nd)
 			c.stats.Covered++
+			victims[i] = nil
 		}
+		c.victims = victims[:0]
 		return
 	}
-	narrower := []mapping.Gran{mapping.Page}
+	narrower := [2]mapping.Gran{mapping.Page, mapping.Page}
+	ngrans := narrower[:1]
 	if g == mapping.Zone {
-		narrower = append(narrower, mapping.Chunk)
+		narrower[1] = mapping.Chunk
+		ngrans = narrower[:2]
 	}
-	for _, ng := range narrower {
+	for _, ng := range ngrans {
 		nspan := c.table.SectorsOf(ng)
 		for b := base; b < base+span; b += nspan {
-			if el, ok := c.m[key{g: ng, base: b}]; ok {
-				c.remove(el)
+			if nd, ok := c.m[makeKey(ng, b)]; ok {
+				c.remove(nd)
 				c.stats.Covered++
 			}
 		}
@@ -208,9 +269,9 @@ func (c *Cache) dropCovered(g mapping.Gran, base int64) {
 // evictLRU removes the least recently used unpinned entry. It reports
 // whether anything was evicted.
 func (c *Cache) evictLRU() bool {
-	for el := c.lru.Back(); el != nil; el = el.Prev() {
-		if !el.Value.(*entry).pinned {
-			c.remove(el)
+	for nd := c.root.prev; nd != &c.root; nd = nd.prev {
+		if !nd.pinned {
+			c.remove(nd)
 			c.stats.Evictions++
 			return true
 		}
@@ -218,11 +279,16 @@ func (c *Cache) evictLRU() bool {
 	return false
 }
 
-func (c *Cache) remove(el *list.Element) {
-	e := el.Value.(*entry)
-	delete(c.m, e.key)
-	c.lru.Remove(el)
+// remove detaches the node from the map and ring and recycles it.
+func (c *Cache) remove(nd *node) {
+	delete(c.m, nd.key)
+	nd.unlink()
+	c.n--
 	c.used -= c.entryBytes
+	nd.key = 0
+	nd.psn, nd.pinned = 0, false
+	nd.next = c.free
+	c.free = nd
 }
 
 // InvalidateRange removes every cached entry overlapping [lpa, lpa+n),
@@ -234,26 +300,27 @@ func (c *Cache) InvalidateRange(lpa, n int64) {
 		return
 	}
 	probes := n + n/c.table.SectorsOf(mapping.Chunk) + n/c.table.SectorsOf(mapping.Zone) + 3
-	if int64(c.lru.Len()) < probes {
-		var victims []*list.Element
-		for el := c.lru.Front(); el != nil; el = el.Next() {
-			e := el.Value.(*entry)
-			span := c.table.SectorsOf(e.key.g)
-			if e.key.base < lpa+n && e.key.base+span > lpa {
-				victims = append(victims, el)
+	if int64(c.n) < probes {
+		victims := c.victims[:0]
+		for nd := c.root.next; nd != &c.root; nd = nd.next {
+			span := c.table.SectorsOf(nd.key.gran())
+			if nd.key.base() < lpa+n && nd.key.base()+span > lpa {
+				victims = append(victims, nd)
 			}
 		}
-		for _, el := range victims {
-			c.remove(el)
+		for i, nd := range victims {
+			c.remove(nd)
+			victims[i] = nil
 		}
+		c.victims = victims[:0]
 		return
 	}
-	for _, g := range []mapping.Gran{mapping.Zone, mapping.Chunk, mapping.Page} {
+	for _, g := range lookupOrder {
 		span := c.table.SectorsOf(g)
 		first := lpa - lpa%span
 		for b := first; b < lpa+n; b += span {
-			if el, ok := c.m[key{g: g, base: b}]; ok {
-				c.remove(el)
+			if nd, ok := c.m[makeKey(g, b)]; ok {
+				c.remove(nd)
 			}
 		}
 	}
@@ -271,9 +338,8 @@ type Entry struct {
 // ForEach visits every cached entry in MRU-to-LRU order without touching
 // the LRU order or statistics. Iteration stops when fn returns false.
 func (c *Cache) ForEach(fn func(Entry) bool) {
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
-		if !fn(Entry{Gran: e.key.g, Base: e.key.base, PSN: e.psn, Pinned: e.pinned}) {
+	for nd := c.root.next; nd != &c.root; nd = nd.next {
+		if !fn(Entry{Gran: nd.key.gran(), Base: nd.key.base(), PSN: nd.psn, Pinned: nd.pinned}) {
 			return
 		}
 	}
@@ -293,17 +359,23 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // CheckInvariants verifies the byte accounting and map/list agreement.
 func (c *Cache) CheckInvariants() error {
-	if int64(c.lru.Len())*c.entryBytes != c.used {
-		return fmt.Errorf("l2pcache: used %d != %d entries * %d", c.used, c.lru.Len(), c.entryBytes)
+	ringLen := 0
+	for nd := c.root.next; nd != &c.root; nd = nd.next {
+		ringLen++
 	}
-	if len(c.m) != c.lru.Len() {
-		return fmt.Errorf("l2pcache: map %d != list %d", len(c.m), c.lru.Len())
+	if ringLen != c.n {
+		return fmt.Errorf("l2pcache: ring holds %d entries, counted %d", ringLen, c.n)
 	}
-	unpinnedOver := c.used > c.capBytes
-	if unpinnedOver {
+	if int64(c.n)*c.entryBytes != c.used {
+		return fmt.Errorf("l2pcache: used %d != %d entries * %d", c.used, c.n, c.entryBytes)
+	}
+	if len(c.m) != c.n {
+		return fmt.Errorf("l2pcache: map %d != list %d", len(c.m), c.n)
+	}
+	if c.used > c.capBytes {
 		// Over budget is legal only if everything resident is pinned.
-		for el := c.lru.Front(); el != nil; el = el.Next() {
-			if !el.Value.(*entry).pinned {
+		for nd := c.root.next; nd != &c.root; nd = nd.next {
+			if !nd.pinned {
 				return fmt.Errorf("l2pcache: over budget (%d/%d) with unpinned entries", c.used, c.capBytes)
 			}
 		}

@@ -111,7 +111,16 @@ func (d *Device) collectSB(at sim.Time, victim int) (sim.Time, error) {
 		if i < n {
 			ws := make([]stagedWrite, 0, n-i)
 			for ; i < n; i++ {
-				ws = append(ws, stagedWrite{lpa: lpas[i], payload: payloads[i]})
+				// stageForGC may recurse into GC (drainStaging → ensureGC)
+				// and erase this victim — whose now-zero valid count makes it
+				// the best next victim — before staging copies the data, so
+				// the remainder must own its bytes rather than keep borrowing
+				// the victim's pooled payload slabs.
+				var p []byte
+				if payloads[i] != nil {
+					p = append([]byte(nil), payloads[i]...)
+				}
+				ws = append(ws, stagedWrite{lpa: lpas[i], payload: p})
 			}
 			dn, err := d.stageForGC(done, ws)
 			if err != nil {

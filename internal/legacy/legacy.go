@@ -242,8 +242,7 @@ func (d *Device) programPUAt(at sim.Time, lpas []int64, sectors [][]byte) ([]phy
 	if err != nil {
 		return nil, at, err
 	}
-	payload := mergePayload(sectors, d.geo.ProgramUnit)
-	_, done, err := d.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%d.pagesPerPU, payload)
+	_, done, err := d.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%d.pagesPerPU, sectors)
 	if err != nil {
 		return nil, at, err
 	}
@@ -259,26 +258,6 @@ func (d *Device) programPUAt(at sim.Time, lpas []int64, sectors [][]byte) ([]phy
 	d.pos += d.puSectors
 	d.stats.DirectPUs++
 	return out, done, nil
-}
-
-func mergePayload(sectors [][]byte, puBytes int64) []byte {
-	any := false
-	for _, s := range sectors {
-		if s != nil {
-			any = true
-			break
-		}
-	}
-	if !any {
-		return nil
-	}
-	out := make([]byte, puBytes)
-	for i, s := range sectors {
-		if s != nil {
-			copy(out[int64(i)*units.Sector:], s)
-		}
-	}
-	return out
 }
 
 // Write accepts a host write of len(payloads) sectors at lba; unlike the

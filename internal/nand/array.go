@@ -190,17 +190,20 @@ func (a *Array) ChargeMapRead(at sim.Time, chip int) (sim.Time, error) {
 
 // ProgramPU programs one full program unit (geo.ProgramUnit bytes spanning
 // PagesPerPU pages) on a normal-media block, starting at startPage. The
-// payload, if non-nil, must be exactly ProgramUnit bytes; nil programs
-// unrecorded payload (used by workloads that do not verify data).
-// Programming must continue where the block left off (NAND pages are
-// written in order), and the block must cover the full unit.
+// payload is given per sector: sectors, if non-nil, must hold exactly one
+// entry per 4 KiB sector of the unit, each entry either nil (that sector is
+// programmed without recorded payload, as workloads that do not verify data
+// do) or a 4 KiB buffer, which is copied into pooled media storage — the
+// caller's buffers are never retained. Programming must continue where the
+// block left off (NAND pages are written in order), and the block must
+// cover the full unit.
 //
 // Two instants are returned: release, when the data has been transferred
 // into the chip's page register (the source buffer may be reused), and
 // done, when the program operation finishes. The transfer waits for both
 // the channel and the chip's register (a chip mid-program cannot accept
 // data), which is what creates write-path backpressure.
-func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, payload []byte) (release, done sim.Time, err error) {
+func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, sectors [][]byte) (release, done sim.Time, err error) {
 	if err := a.checkAddr(chip, block); err != nil {
 		return at, at, err
 	}
@@ -212,8 +215,14 @@ func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, payload []byt
 	if startPage%ppu != 0 || startPage+ppu > a.geo.PagesPerBlock {
 		return at, at, fmt.Errorf("nand: PU at page %d not aligned or out of block", startPage)
 	}
-	if payload != nil && int64(len(payload)) != a.geo.ProgramUnit {
-		return at, at, fmt.Errorf("nand: PU payload %d bytes, want %d", len(payload), a.geo.ProgramUnit)
+	nsect := int(a.geo.ProgramUnit / units.Sector)
+	if sectors != nil && len(sectors) != nsect {
+		return at, at, fmt.Errorf("nand: PU payload %d sectors, want %d", len(sectors), nsect)
+	}
+	for _, s := range sectors {
+		if s != nil && int64(len(s)) != units.Sector {
+			return at, at, fmt.Errorf("nand: PU sector payload %d bytes, want %d", len(s), units.Sector)
+		}
 	}
 	bs := &a.blocks[chip][block]
 	spp := a.geo.SectorsPerPage()
@@ -229,15 +238,14 @@ func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, payload []byt
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
 	a.lastProgStart[chip] = progStart
 
-	nsect := int(a.geo.ProgramUnit / units.Sector)
 	base := a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: startPage})
 	for i := 0; i < nsect; i++ {
 		idx := int64(base) + int64(i)
 		a.written[idx] = true
-		if payload != nil {
-			a.payload[idx] = append([]byte(nil), payload[int64(i)*units.Sector:int64(i+1)*units.Sector]...)
+		if sectors != nil {
+			a.setPayload(idx, sectors[i])
 		} else {
-			a.payload[idx] = nil
+			a.setPayload(idx, nil)
 		}
 	}
 	bs.nextSector = startSector + nsect
@@ -283,11 +291,7 @@ func (a *Array) ProgramSLCSector(at sim.Time, chip, block, page, sector int, pay
 
 	idx := int64(a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: page, Sector: sector}))
 	a.written[idx] = true
-	if payload != nil {
-		a.payload[idx] = append([]byte(nil), payload...)
-	} else {
-		a.payload[idx] = nil
-	}
+	a.setPayload(idx, payload)
 	bs.nextSector = lin + 1
 
 	a.counters.PartialPrograms++
@@ -322,8 +326,10 @@ func (a *Array) ChargeMapProgram(at sim.Time, chip int) (sim.Time, error) {
 // single program operation. Staging layers use it when a full page of data
 // is available: one tPROG covers the page, which is why aggregating evicted
 // buffer data at page granularity is so much cheaper than 4 KiB partials.
-// The page must be the block's next unprogrammed one.
-func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, payload []byte) (release, done sim.Time, err error) {
+// The page must be the block's next unprogrammed one. The payload is given
+// per sector (one entry per sector of the page, entries nil or 4 KiB, as in
+// ProgramPU); sector data is copied, never retained.
+func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, sectors [][]byte) (release, done sim.Time, err error) {
 	if err := a.checkAddr(chip, block); err != nil {
 		return at, at, err
 	}
@@ -333,10 +339,15 @@ func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, payload []byt
 	if page < 0 || page >= a.geo.SLCPagesPerBlock {
 		return at, at, fmt.Errorf("nand: page %d out of SLC block range [0,%d)", page, a.geo.SLCPagesPerBlock)
 	}
-	if payload != nil && int64(len(payload)) != a.geo.PageSize {
-		return at, at, fmt.Errorf("nand: SLC page payload %d bytes, want %d", len(payload), a.geo.PageSize)
-	}
 	spp := a.geo.SectorsPerPage()
+	if sectors != nil && len(sectors) != spp {
+		return at, at, fmt.Errorf("nand: SLC page payload %d sectors, want %d", len(sectors), spp)
+	}
+	for _, s := range sectors {
+		if s != nil && int64(len(s)) != units.Sector {
+			return at, at, fmt.Errorf("nand: SLC sector payload %d bytes, want %d", len(s), units.Sector)
+		}
+	}
 	bs := &a.blocks[chip][block]
 	if bs.nextSector != page*spp {
 		return at, at, fmt.Errorf("nand: out-of-order page program: block %d/%d expects sector %d, got %d",
@@ -351,10 +362,10 @@ func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, payload []byt
 	for s := 0; s < spp; s++ {
 		idx := int64(base) + int64(s)
 		a.written[idx] = true
-		if payload != nil {
-			a.payload[idx] = append([]byte(nil), payload[int64(s)*units.Sector:int64(s+1)*units.Sector]...)
+		if sectors != nil {
+			a.setPayload(idx, sectors[s])
 		} else {
-			a.payload[idx] = nil
+			a.setPayload(idx, nil)
 		}
 	}
 	bs.nextSector = (page + 1) * spp
@@ -380,7 +391,7 @@ func (a *Array) Erase(at sim.Time, chip, block int) (sim.Time, error) {
 	base := int64(a.geo.PPAOf(Addr{Chip: chip, Block: block}))
 	n := int64(a.geo.maxPagesPerBlock() * spp)
 	for i := int64(0); i < n; i++ {
-		a.payload[base+i] = nil
+		a.dropPayload(base + i)
 		a.written[base+i] = false
 	}
 	a.counters.Erases++
@@ -399,13 +410,30 @@ func (a *Array) IsWritten(ppa PPA) bool {
 }
 
 // Payload returns the stored bytes of one written sector, or nil when the
-// sector was programmed without a recorded payload. The returned slice must
-// not be modified.
+// sector was programmed without a recorded payload.
+//
+// The returned slice is a borrow of the live pooled media slab: it must not
+// be modified, and it is valid only until the sector is overwritten or its
+// block is erased — the slab is then recycled and may be reprogrammed with
+// unrelated data. Callers that let the bytes escape the current media
+// operation (oracles, host-boundary copies) must use PayloadCopy instead.
 func (a *Array) Payload(ppa PPA) []byte {
 	if ppa < 0 || int64(ppa) >= int64(len(a.payload)) {
 		return nil
 	}
 	return a.payload[ppa]
+}
+
+// PayloadCopy returns a freshly allocated copy of the sector's stored bytes
+// (nil when none are recorded). Unlike Payload's borrowed view, the result
+// survives erases and pool reuse, so it is safe to retain or hand across
+// the host boundary.
+func (a *Array) PayloadCopy(ppa PPA) []byte {
+	p := a.Payload(ppa)
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
 }
 
 // NextProgramSector returns the block's append point (linear sector offset

@@ -19,12 +19,16 @@ func newTestArray(t *testing.T) *Array {
 	return a
 }
 
-func puPayload(g Geometry, b byte) []byte {
-	p := make([]byte, g.ProgramUnit)
-	for i := range p {
-		p[i] = b
+func puPayload(g Geometry, b byte) [][]byte {
+	sectors := make([][]byte, g.ProgramUnit/units.Sector)
+	for i := range sectors {
+		s := make([]byte, units.Sector)
+		for j := range s {
+			s[j] = b
+		}
+		sectors[i] = s
 	}
-	return p
+	return sectors
 }
 
 func TestNewArrayRejectsBadGeometry(t *testing.T) {
@@ -72,8 +76,7 @@ func TestProgramPUTimingAndPayload(t *testing.T) {
 			if !a.IsWritten(ppa) {
 				t.Fatalf("page %d sector %d not marked written", pg, s)
 			}
-			off := int64(pg*g.SectorsPerPage()+s) * units.Sector
-			if !bytes.Equal(a.Payload(ppa), pay[off:off+units.Sector]) {
+			if !bytes.Equal(a.Payload(ppa), pay[pg*g.SectorsPerPage()+s]) {
 				t.Fatalf("payload mismatch at page %d sector %d", pg, s)
 			}
 		}
@@ -117,9 +120,14 @@ func TestProgramPURejections(t *testing.T) {
 	if _, _, err := a.ProgramPU(0, 0, g.FirstNormalBlock(), 1, nil); err == nil {
 		t.Error("unaligned start page accepted")
 	}
-	short := make([]byte, 10)
+	short := make([][]byte, 1)
 	if _, _, err := a.ProgramPU(0, 0, g.FirstNormalBlock(), 0, short); err == nil {
-		t.Error("short payload accepted")
+		t.Error("wrong sector count accepted")
+	}
+	bad := make([][]byte, g.ProgramUnit/units.Sector)
+	bad[0] = []byte{1}
+	if _, _, err := a.ProgramPU(0, 0, g.FirstNormalBlock(), 0, bad); err == nil {
+		t.Error("short sector payload accepted")
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package nand
+
+// raceEnabled reports whether the race detector is on; allocation-count
+// pins are skipped under -race because the detector defeats sync.Pool
+// caching by design.
+const raceEnabled = false

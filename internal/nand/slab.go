@@ -1,0 +1,58 @@
+package nand
+
+import (
+	"sync"
+
+	"github.com/conzone/conzone/internal/units"
+)
+
+// Payload storage is pooled: every stored sector occupies one sector-sized
+// slab drawn from a shared sync.Pool, and programming, erasing or
+// overwriting a sector releases its slab back to the pool. On the steady
+// state of a write-heavy workload the media model therefore allocates
+// nothing — slabs cycle between the pool and the payload table — which is
+// what keeps the emulator's wall-clock throughput at the ROADMAP's "as fast
+// as the hardware allows" target instead of fighting the garbage collector
+// over one fresh 4 KiB buffer per programmed sector.
+//
+// The flip side is a borrow discipline: Array.Payload returns the live slab,
+// and once the sector's block is erased the slab is recycled and may be
+// reprogrammed with unrelated data. See Payload and PayloadCopy.
+
+// slab is one pooled sector payload buffer. The pool stores *slab (a
+// pointer to a fixed-size array) rather than []byte so that Get/Put do not
+// allocate for the interface conversion.
+type slab [units.Sector]byte
+
+var slabPool = sync.Pool{New: func() any { return new(slab) }}
+
+// getSlab returns a sector-sized buffer from the pool. Its contents are
+// unspecified; callers overwrite it fully.
+func getSlab() []byte { return slabPool.Get().(*slab)[:] }
+
+// putSlab returns a buffer previously obtained from getSlab to the pool.
+func putSlab(b []byte) { slabPool.Put((*slab)(b)) }
+
+// setPayload stores one sector's payload: the previous slab, if any, is
+// released (overwrite release), and a non-nil src is copied into a fresh
+// slab so the caller's buffer is never retained.
+func (a *Array) setPayload(idx int64, src []byte) {
+	if old := a.payload[idx]; old != nil {
+		putSlab(old)
+	}
+	if src == nil {
+		a.payload[idx] = nil
+		return
+	}
+	s := getSlab()
+	copy(s, src)
+	a.payload[idx] = s
+}
+
+// dropPayload releases the sector's slab, if any (erase release).
+func (a *Array) dropPayload(idx int64) {
+	if old := a.payload[idx]; old != nil {
+		putSlab(old)
+		a.payload[idx] = nil
+	}
+}

@@ -75,6 +75,22 @@ type Region struct {
 
 	stats Stats
 	obs   *obs.Recorder // nil when observation is off
+
+	// Reused scratch storage: the staging path runs on every premature
+	// flush, so per-call slices here would dominate the emulator's
+	// steady-state allocation profile.
+	idxScratch  []int64   // Append result accumulator (returned, then reused)
+	pageScratch [][]byte  // one page's sector views for ProgramSLCPage
+	runScratch  []pageRun // per-page read batching in ReadSectors
+	moveScratch []int64   // GC: victim's live indices
+	wsScratch   []Write   // GC: migration writes
+}
+
+// pageRun accumulates the transfer bytes of one distinct flash page during
+// ReadSectors batching.
+type pageRun struct {
+	chip, block, page int
+	bytes             int64
 }
 
 // SetRecorder attaches a lifecycle recorder; nil disables GC spans.
@@ -105,12 +121,13 @@ func NewRegion(arr *nand.Array, blocks []int) (*Region, error) {
 		seen[b] = true
 	}
 	r := &Region{
-		arr:    arr,
-		blocks: append([]int(nil), blocks...),
-		sbCap:  int64(g.Chips()) * int64(g.SLCPagesPerBlock) * int64(g.SectorsPerPage()),
-		chips:  g.Chips(),
-		spp:    g.SectorsPerPage(),
-		cur:    -1,
+		arr:         arr,
+		blocks:      append([]int(nil), blocks...),
+		sbCap:       int64(g.Chips()) * int64(g.SLCPagesPerBlock) * int64(g.SectorsPerPage()),
+		chips:       g.Chips(),
+		spp:         g.SectorsPerPage(),
+		cur:         -1,
+		pageScratch: make([][]byte, g.SectorsPerPage()),
 	}
 	r.sbs = make([]superblock, len(blocks))
 	for i := range r.sbs {
@@ -263,9 +280,12 @@ func (r *Region) bind() error {
 // Append stages the given sectors at the write pointer through 4 KiB
 // partial programs, one per sector, striped across chips. It returns the
 // linear index of each staged sector and the virtual completion time of the
-// slowest program. Callers must check HasSpace (and garbage collect) first;
-// Append fails rather than consume the GC reserve... unless the region is
-// collecting, in which case reserveOK is set by the collector.
+// slowest program. The returned index slice is scratch storage owned by the
+// region — it is valid only until the next Append or Collect call, so
+// callers must consume it immediately (they all do: the indices go straight
+// into mapping-table entries). Callers must check HasSpace (and garbage
+// collect) first; Append fails rather than consume the GC reserve... unless
+// the region is collecting, in which case reserveOK is set by the collector.
 func (r *Region) Append(at sim.Time, ws []Write) (idxs []int64, release, done sim.Time, err error) {
 	return r.append(at, ws, false)
 }
@@ -283,7 +303,7 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 			return nil, at, at, fmt.Errorf("slc: payload must be %d bytes, got %d", units.Sector, len(w.Payload))
 		}
 	}
-	idxs := make([]int64, 0, len(ws))
+	idxs := r.idxScratch[:0]
 	release := at
 	done := at
 	spp := int64(r.spp)
@@ -302,9 +322,13 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 		var took int64
 		if addr.Sector == 0 && remaining >= spp {
 			// A whole page of data starting at a page boundary: one
-			// full-page program covers all its sectors.
-			payload := mergePagePayload(ws[i:i+int(spp)], r.arr.Geometry().PageSize)
-			rel, end, err = r.arr.ProgramSLCPage(at, addr.Chip, addr.Block, addr.Page, payload)
+			// full-page program covers all its sectors. The per-sector views
+			// are passed through scratch; the array copies them into its
+			// pooled storage before returning.
+			for k := int64(0); k < spp; k++ {
+				r.pageScratch[k] = ws[i+int(k)].Payload
+			}
+			rel, end, err = r.arr.ProgramSLCPage(at, addr.Chip, addr.Block, addr.Page, r.pageScratch)
 			took = spp
 		} else {
 			// Sub-page tail or unaligned start: 4 KiB partial program.
@@ -332,29 +356,8 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 		i += int(took)
 	}
 	r.stats.Staged += int64(len(ws))
+	r.idxScratch = idxs
 	return idxs, release, done, nil
-}
-
-// mergePagePayload flattens one page's worth of sector payloads, or nil
-// when none carries data.
-func mergePagePayload(ws []Write, pageSize int64) []byte {
-	any := false
-	for _, w := range ws {
-		if w.Payload != nil {
-			any = true
-			break
-		}
-	}
-	if !any {
-		return nil
-	}
-	out := make([]byte, pageSize)
-	for i, w := range ws {
-		if w.Payload != nil {
-			copy(out[int64(i)*units.Sector:], w.Payload)
-		}
-	}
-	return out
 }
 
 // Invalidate marks a staged sector dead (combined into the normal area, or
@@ -424,23 +427,37 @@ func (r *Region) Payload(idx int64) []byte {
 // sectors: one SLC page sense per distinct page plus the transfer of the
 // requested sectors. It returns the completion time of the slowest read.
 func (r *Region) ReadSectors(at sim.Time, idxs []int64) (sim.Time, error) {
-	type pageKey struct{ chip, block, page int }
-	pages := make(map[pageKey]int64)
-	var order []pageKey // first-touch order: keeps replay deterministic
+	// Batch per distinct page in first-touch order (deterministic replay).
+	// A scratch slice with a linear scan replaces the old map+order pair:
+	// requests are short and usually page-sorted, so the last-run check
+	// catches nearly every hit, and nothing is allocated per call.
+	runs := r.runScratch[:0]
 	for _, idx := range idxs {
 		a, err := r.AddrOf(idx)
 		if err != nil {
 			return at, err
 		}
-		pk := pageKey{a.Chip, a.Block, a.Page}
-		if _, seen := pages[pk]; !seen {
-			order = append(order, pk)
+		hit := false
+		if n := len(runs); n > 0 && runs[n-1].chip == a.Chip && runs[n-1].block == a.Block && runs[n-1].page == a.Page {
+			runs[n-1].bytes += units.Sector
+			hit = true
+		} else {
+			for j := range runs {
+				if runs[j].chip == a.Chip && runs[j].block == a.Block && runs[j].page == a.Page {
+					runs[j].bytes += units.Sector
+					hit = true
+					break
+				}
+			}
 		}
-		pages[pk] += units.Sector
+		if !hit {
+			runs = append(runs, pageRun{chip: a.Chip, block: a.Block, page: a.Page, bytes: units.Sector})
+		}
 	}
+	r.runScratch = runs
 	done := at
-	for _, pk := range order {
-		end, err := r.arr.ReadPage(at, pk.chip, pk.block, pk.page, pages[pk])
+	for i := range runs {
+		end, err := r.arr.ReadPage(at, runs[i].chip, runs[i].block, runs[i].page, runs[i].bytes)
 		if err != nil {
 			return at, err
 		}
@@ -491,26 +508,35 @@ func (r *Region) Collect(at sim.Time, victim int, rel Relocator) (sim.Time, erro
 	done := at
 
 	// Move valid sectors, if any.
-	var moves []int64
+	moves := r.moveScratch[:0]
 	for pos := int64(0); pos < r.sbCap; pos++ {
 		if sb.valid[pos] {
 			moves = append(moves, int64(victim)*r.sbCap+pos)
 		}
 	}
+	r.moveScratch = moves
 	if len(moves) > 0 {
 		readDone, err := r.ReadSectors(at, moves)
 		if err != nil {
 			return at, err
 		}
-		ws := make([]Write, 0, len(moves))
+		// The migration writes borrow the victim's live payload slabs; the
+		// re-append below copies them into fresh slabs before the victim is
+		// erased (and its slabs recycled), so the borrow never dangles.
+		ws := r.wsScratch[:0]
 		for _, idx := range moves {
 			pos := idx % r.sbCap
 			ws = append(ws, Write{LPA: sb.lpa[pos], Payload: r.Payload(idx)})
 		}
 		newIdxs, _, progDone, err := r.append(readDone, ws, true)
 		if err != nil {
+			r.wsScratch = ws[:0]
 			return at, fmt.Errorf("slc: GC migration: %w", err)
 		}
+		for i := range ws {
+			ws[i].Payload = nil // drop slab borrows before the erase recycles them
+		}
+		r.wsScratch = ws[:0]
 		for i, idx := range moves {
 			pos := idx % r.sbCap
 			if rel != nil {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package wbuf
+
+// raceEnabled reports whether the race detector is on; allocation-count
+// pins are skipped under -race because the detector defeats pooling by
+// design.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package wbuf
+
+const raceEnabled = true

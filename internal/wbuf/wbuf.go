@@ -9,6 +9,20 @@
 //
 // The manager only holds and hands back data; flush routing (direct program
 // vs SLC staging vs combine) is the FTL's job.
+//
+// # Payload retention and Flush lifetime
+//
+// Buffers hold references to the host's payload slices — nothing is copied
+// on append. A payload buffer passed to Append is therefore retained by the
+// device until its data reaches media (the flush consumes it), and the host
+// must not modify it before then; this models DMA from pinned host memory.
+//
+// Flush objects and their Payloads containers are pooled: a *Flush returned
+// by Append, Evict or Take is borrowed and valid only until the next
+// mutating Manager call (Append, Evict, Take), which reclaims previously
+// handed-out flushes for reuse. The FTL consumes every flush synchronously
+// before touching the manager again, so steady-state draining allocates
+// nothing.
 package wbuf
 
 import (
@@ -84,6 +98,13 @@ type Manager struct {
 	bufs  []buffer
 	cap   int64 // sectors per buffer (one superpage)
 	stats Stats
+
+	// Flush recycling (see the package doc's lifetime contract): lent holds
+	// flushes handed to the caller since the last mutating call; reclaim
+	// moves them — container capacity and all — onto freeFlush for reuse.
+	lent      []*Flush
+	freeFlush []*Flush
+	outFlush  []*Flush // Append's reused result slice
 }
 
 // New builds a manager with nbuf buffers of capSectors each.
@@ -131,8 +152,10 @@ func (m *Manager) Occupant(zone int) int {
 }
 
 // Evict removes and returns the conflicting occupant's data so the FTL can
-// flush it prematurely. It returns nil when there is no conflict.
+// flush it prematurely. It returns nil when there is no conflict. The
+// returned flush is borrowed until the next mutating Manager call.
 func (m *Manager) Evict(zone int) *Flush {
+	m.reclaim()
 	occ := m.Occupant(zone)
 	if occ < 0 || occ == zone {
 		return nil
@@ -141,11 +164,34 @@ func (m *Manager) Evict(zone int) *Flush {
 	return m.drain(m.BufferIndex(zone), ReasonEvict)
 }
 
+// reclaim recycles every flush handed out since the last mutating call.
+// Runs at the top of each mutator: by the Flush lifetime contract the
+// caller has consumed those flushes by now.
+func (m *Manager) reclaim() {
+	for i, f := range m.lent {
+		f.Payloads = f.Payloads[:0]
+		m.freeFlush = append(m.freeFlush, f)
+		m.lent[i] = nil
+	}
+	m.lent = m.lent[:0]
+}
+
 func (m *Manager) drain(i int, why Reason) *Flush {
 	b := &m.bufs[i]
-	f := &Flush{Zone: b.zone, StartLBA: b.startLBA, Payloads: b.payloads, Reason: why}
+	var f *Flush
+	if n := len(m.freeFlush); n > 0 {
+		f = m.freeFlush[n-1]
+		m.freeFlush[n-1] = nil
+		m.freeFlush = m.freeFlush[:n-1]
+	} else {
+		f = &Flush{}
+	}
+	f.Zone, f.StartLBA, f.Reason = b.zone, b.startLBA, why
+	// Swap containers: the flush takes the buffered run; the buffer takes
+	// the recycled flush's empty container for the next run.
+	f.Payloads, b.payloads = b.payloads, f.Payloads[:0]
+	m.lent = append(m.lent, f)
 	b.zone = -1
-	b.payloads = nil
 	b.startLBA = 0
 	return f
 }
@@ -154,7 +200,11 @@ func (m *Manager) drain(i int, why Reason) *Flush {
 // returns the full-buffer flushes this produces, in order. The caller must
 // have resolved any conflict with Evict first. Within a zone, appends must
 // be logically contiguous (ZNS guarantees writes at the write pointer).
+// Payload entries are retained by reference until flushed to media (see the
+// package doc); the returned flushes and the slice holding them are
+// borrowed until the next mutating Manager call.
 func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, error) {
+	m.reclaim()
 	if zone < 0 {
 		return nil, fmt.Errorf("wbuf: negative zone %d", zone)
 	}
@@ -182,7 +232,7 @@ func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, erro
 		b.startLBA = lba
 	}
 
-	var out []*Flush
+	out := m.outFlush[:0]
 	for _, p := range payloads {
 		b.payloads = append(b.payloads, p)
 		m.stats.Appended++
@@ -199,13 +249,19 @@ func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, erro
 		b.zone = -1
 		b.startLBA = 0
 	}
+	m.outFlush = out
+	if len(out) == 0 {
+		return nil, nil
+	}
 	return out, nil
 }
 
 // Take drains the zone's buffered data for an explicit flush (synchronous
 // write completion, zone finish/close, device flush). Returns nil when the
-// zone has nothing buffered.
+// zone has nothing buffered. The returned flush is borrowed until the next
+// mutating Manager call.
 func (m *Manager) Take(zone int) *Flush {
+	m.reclaim()
 	occ := m.Occupant(zone)
 	if occ != zone {
 		return nil

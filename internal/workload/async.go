@@ -66,20 +66,34 @@ func runAsync(dev Async, job Job) (Result, error) {
 		return Result{}, err
 	}
 	windows := make([][]inflightOp, len(threads))
+	for i := range windows {
+		windows[i] = make([]inflightOp, 0, depth+1)
+	}
+	// The host controller pools read buffers behind Recycle; probe for it by
+	// assertion so plain synchronous devices still satisfy Async.
+	rec, _ := dev.(interface{ Recycle(data [][]byte) })
+	// Data-less writes share one nil-entry payload container: the backend
+	// only ever reads the entries, so every in-flight request may alias it.
+	var nilPayloads [][]byte
 
 	lat := stats.NewHistogram()
 	var totalOps, totalBytes int64
 	end := job.StartAt
 
 	reapOldest := func(ti int) error {
-		op := windows[ti][0]
-		windows[ti] = windows[ti][1:]
+		w := windows[ti]
+		op := w[0]
+		copy(w, w[1:])
+		windows[ti] = w[:len(w)-1]
 		comp, ok := dev.Wait(op.tag)
 		if !ok {
 			return fmt.Errorf("workload %s: completion of tag %d vanished", job.Name, op.tag)
 		}
 		if comp.Err != nil {
 			return fmt.Errorf("workload %s: %v lba %d: %w", job.Name, comp.Op, comp.LBA, comp.Err)
+		}
+		if comp.Data != nil && rec != nil {
+			rec.Recycle(comp.Data)
 		}
 		if op.bytes > 0 {
 			lat.Record(comp.Latency())
@@ -157,11 +171,17 @@ func runAsync(dev Async, job Job) (Result, error) {
 
 		req := host.Request{}
 		if job.Pattern.IsWrite() {
-			payloads := make([][]byte, opBytes/units.Sector)
+			var payloads [][]byte
 			if job.WithData {
+				payloads = make([][]byte, opBytes/units.Sector)
 				for s := range payloads {
 					payloads[s] = fillPayload(lba + int64(s))
 				}
+			} else {
+				if n := int(opBytes / units.Sector); n > len(nilPayloads) {
+					nilPayloads = make([][]byte, n)
+				}
+				payloads = nilPayloads[:opBytes/units.Sector]
 			}
 			req = host.Request{Op: host.OpWrite, LBA: lba, Payloads: payloads}
 		} else {
