@@ -6,6 +6,7 @@ package conzone
 // special case of the same path.
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/conzone/conzone/internal/host"
@@ -124,6 +125,7 @@ type AsyncWriter struct {
 	inflight []Tag
 	index    map[Tag]int // tag -> submission index
 	offsets  []int64     // per submission: assigned byte offset, -1 until completed
+	attempts int64       // Submit calls issued, including queue-full retries
 }
 
 // NewAsyncWriter returns a writer submitting on queue q with a window of
@@ -173,14 +175,27 @@ func (w *AsyncWriter) Append(zone int, data []byte) (int, error) {
 	return w.submit(HostRequest{Op: OpAppend, Zone: zone, Payloads: toSectors(data)})
 }
 
-// submit opens window space and queues the request.
+// submit opens window space and queues the request. A shared queue can be
+// full even when the writer's own window has room (another submitter holds
+// the remaining slots); resubmitting without waiting would spin forever at
+// one virtual instant, so the writer frees a slot by reaping its own oldest
+// completion before each retry, and gives up only when none of the queue's
+// occupants are its own.
 func (w *AsyncWriter) submit(req HostRequest) (int, error) {
 	for len(w.inflight) >= w.depth {
 		if err := w.reapOldest(); err != nil {
 			return -1, err
 		}
 	}
+	w.attempts++
 	tag, err := w.d.Submit(w.queue, req)
+	for errors.Is(err, ErrQueueFull) && len(w.inflight) > 0 {
+		if rerr := w.reapOldest(); rerr != nil {
+			return -1, rerr
+		}
+		w.attempts++
+		tag, err = w.d.Submit(w.queue, req)
+	}
 	if err != nil {
 		w.err = err
 		return -1, err
@@ -233,6 +248,12 @@ func (w *AsyncWriter) Flush() error {
 
 // Outstanding returns how many of the writer's commands are in flight.
 func (w *AsyncWriter) Outstanding() int { return len(w.inflight) }
+
+// SubmitAttempts returns how many Submit calls the writer has issued,
+// including retries after a full queue. With the queue to itself the count
+// equals the commands written; regression tests pin it to prove a full
+// shared queue costs one completion wait per retry instead of a busy loop.
+func (w *AsyncWriter) SubmitAttempts() int64 { return w.attempts }
 
 // AssignedOffset returns the byte offset the device assigned to submission
 // i (as returned by Write or Append), or -1 while the command is still

@@ -2,6 +2,7 @@ package conzone
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -310,6 +311,84 @@ func TestAsyncWriter(t *testing.T) {
 	}
 	if w3.Err() == nil {
 		t.Fatal("error must stick")
+	}
+	if err := dev.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncWriterQueueFullRetry pins the writer's behaviour on a shared
+// full queue: another submitter holds half the slots, so once the writer's
+// own commands fill the rest, every further submit must wait for one of its
+// own completions and retry exactly once — SubmitAttempts proves there is
+// no busy resubmit loop — and a writer with an empty window (nothing of its
+// own to reap) must give up with ErrQueueFull instead of spinning.
+func TestAsyncWriterQueueFullRetry(t *testing.T) {
+	dev, err := Open(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ConfigureQueues(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy half the queue with reads that stay unreaped until the end.
+	var raw []Tag
+	for i := 0; i < 4; i++ {
+		tag, err := dev.Submit(0, HostRequest{Op: OpRead, LBA: 0, N: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, tag)
+	}
+
+	w, err := dev.NewAsyncWriter(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb := dev.ZoneBytes()
+	data := make([]byte, 4*SectorSize)
+	for i := range data {
+		data[i] = byte(0xC3 ^ i)
+	}
+	const writes = 10
+	for i := 0; i < writes; i++ {
+		if _, err := w.Write(1*zb+int64(i*len(data)), data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// The first 4 writes fit alongside the reads; each later one finds the
+	// queue full, reaps its own oldest completion, and succeeds on the one
+	// retry that slot allows.
+	if got, want := w.SubmitAttempts(), int64(4+(writes-4)*2); got != want {
+		t.Fatalf("SubmitAttempts = %d, want %d (one wait-and-retry per full-queue submit)", got, want)
+	}
+
+	// A second writer on the same full queue owns none of the occupants: it
+	// must fail fast with ErrQueueFull, not loop.
+	w2, err := dev.NewAsyncWriter(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write(2*zb, data); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("empty-window submit on a full queue returned %v, want ErrQueueFull", err)
+	}
+
+	for _, tag := range raw {
+		if _, ok := dev.Wait(tag); !ok {
+			t.Fatalf("read completion of tag %d vanished", tag)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Read(1*zb, writes*len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < writes; i++ {
+		if !bytes.Equal(got[i*len(data):(i+1)*len(data)], data) {
+			t.Fatalf("write %d did not land intact", i)
+		}
 	}
 	if err := dev.CheckInvariants(); err != nil {
 		t.Fatal(err)

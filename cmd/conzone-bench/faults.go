@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/fault"
+	"github.com/conzone/conzone/internal/ftl"
+	"github.com/conzone/conzone/internal/units"
+	"github.com/conzone/conzone/internal/workload"
+)
+
+// runFaults benchmarks the device with the NAND fault model enabled and
+// prints it next to a healthy run of the same jobs: a sequential fill
+// (program fails drive superblock relocation and bad-block retirement)
+// followed by random reads over the written extent (ECC read retries
+// inflate tail latency). The faulty jobs run with ContinueOnError, so I/O
+// errors are counted instead of aborting, and the fault/recovery counters
+// and bad-block table are reported at the end.
+func runFaults(cfg config.DeviceConfig, seed uint64, quick bool) error {
+	header(fmt.Sprintf("Fault injection (seed %d): healthy vs faulty device", seed))
+
+	healthy, err := cfg.NewConZone()
+	if err != nil {
+		return err
+	}
+
+	faultyCfg := cfg
+	if faultyCfg.FTL.SpareSuperblocks == 0 {
+		faultyCfg.FTL.SpareSuperblocks = 4
+	}
+	faultyCfg.FTL.Faults = &fault.Config{
+		Seed:            seed,
+		SLC:             fault.Probabilities{ProgramFail: 2e-4, EraseFail: 5e-4, ReadFail: 0.02},
+		TLC:             fault.Probabilities{ProgramFail: 2e-3, EraseFail: 2e-3, ReadFail: 0.02},
+		QLC:             fault.Probabilities{ProgramFail: 2e-3, EraseFail: 2e-3, ReadFail: 0.02},
+		ReadRetryRounds: 4,
+	}
+	faulty, err := faultyCfg.NewConZone()
+	if err != nil {
+		return err
+	}
+
+	zoneBytes := healthy.ZoneCapSectors() * units.Sector
+	zones := int64(8)
+	if quick {
+		zones = 4
+	}
+	if n := int64(healthy.NumZones()); zones > n {
+		zones = n
+	}
+	span := zones * zoneBytes
+	readVol := int64(8 * units.MiB)
+	if quick {
+		readVol = 2 * units.MiB
+	}
+
+	jobs := []workload.Job{
+		{
+			Name:             "seqwrite",
+			Pattern:          workload.SeqWrite,
+			BlockBytes:       512 * units.KiB,
+			NumJobs:          2,
+			RangeBytes:       span,
+			TotalBytesPerJob: span / 2,
+			PerOpOverhead:    2 * time.Microsecond,
+			FlushAtEnd:       true,
+			Seed:             seed,
+		},
+		{
+			Name:             "randread",
+			Pattern:          workload.RandRead,
+			BlockBytes:       4 * units.KiB,
+			NumJobs:          2,
+			RangeBytes:       span,
+			TotalBytesPerJob: readVol,
+			PerOpOverhead:    2 * time.Microsecond,
+			Seed:             seed,
+		},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "job\tdevice\tbw MiB/s\tIOPS\tp50\tp99\tI/O errors")
+	for _, job := range jobs {
+		hres, err := workload.Run(healthy, job)
+		if err != nil {
+			return fmt.Errorf("healthy %s: %w", job.Name, err)
+		}
+		job.ContinueOnError = true
+		fres, err := workload.Run(faulty, job)
+		if err != nil {
+			return fmt.Errorf("faulty %s: %w", job.Name, err)
+		}
+		row := func(dev string, r workload.Result) {
+			note := ""
+			if r.ReadOnly {
+				note = " (read-only)"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.0f\t%v\t%v\t%d%s\n",
+				r.Job, dev, r.BandwidthMiBps, r.IOPS, r.Lat.P50, r.Lat.P99, r.IOErrors, note)
+		}
+		row("healthy", hres)
+		row("faulty", fres)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	printFaultSummary(faulty)
+	return nil
+}
+
+// printFaultSummary reports the device's fault, recovery and bad-block
+// state after a faulty run.
+func printFaultSummary(f *ftl.FTL) {
+	st := f.Stats()
+	fmt.Println("\nFault and recovery counters:")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "program fails\t%d\n", st.ProgramFails)
+	fmt.Fprintf(w, "erase fails\t%d\n", st.EraseFails)
+	fmt.Fprintf(w, "read retry rounds\t%d\n", st.ReadRetries)
+	fmt.Fprintf(w, "uncorrectable reads\t%d\n", st.UncorrectableReads)
+	fmt.Fprintf(w, "superblock relocations\t%d (%d sectors copied)\n", st.Relocations, st.RelocatedSectors)
+	fmt.Fprintf(w, "retired superblocks\t%d (normal) + %d (SLC staging)\n",
+		st.RetiredSuperblocks, f.Staging().RetiredSuperblocks())
+	fmt.Fprintf(w, "free superblock pool\t%d (of %d spares reserved)\n",
+		len(f.FreeSBList()), f.SpareSuperblocks())
+	fmt.Fprintf(w, "acknowledged sectors lost\t%d (must be 0)\n", st.LostAckSectors)
+	fmt.Fprintf(w, "read-only\t%v\n", f.ReadOnly())
+	w.Flush()
+
+	if bbt := f.BadBlockTable(); len(bbt) > 0 {
+		fmt.Println("\nGrown bad-block table:")
+		bw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(bw, "chip\tblock\tfailed op")
+		for _, bb := range bbt {
+			fmt.Fprintf(bw, "%d\t%d\t%s\n", bb.Chip, bb.Block, bb.Op)
+		}
+		bw.Flush()
+	}
+}

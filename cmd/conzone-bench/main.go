@@ -6,6 +6,7 @@
 //	conzone-bench [-exp all|table1|table2|fig6a|fig6b|fig7|fig8|ablations] [-quick] [-config file.json]
 //	conzone-bench -metrics [-metrics-json tel.json] [-chrome trace.json]
 //	conzone-bench -qd 1,2,4,8,16 [-quick] [-metrics-json sweep.json]
+//	conzone-bench -faults [-fault-seed 7] [-quick]
 //	conzone-bench -selfbench [-json BENCH_emulator.json]
 //
 // Any mode accepts -cpuprofile/-memprofile to write pprof profiles of the
@@ -36,6 +37,8 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "with -metrics or -qd: also write the JSON results to this file")
 	chromeOut := flag.String("chrome", "", "with -metrics: also write the simulated timeline as a Chrome Trace Event file")
 	qd := flag.String("qd", "", "comma-separated queue depths to sweep through the async host interface (e.g. 1,2,4,8,16)")
+	faults := flag.Bool("faults", false, "benchmark with the NAND fault model enabled and report fault/recovery statistics")
+	faultSeed := flag.Uint64("fault-seed", 1, "with -faults: fault model RNG seed")
 	selfbench := flag.Bool("selfbench", false, "measure the emulator's own wall-clock throughput (ns per emulated I/O)")
 	jsonOut := flag.String("json", "", "with -selfbench: write the results to this file (e.g. BENCH_emulator.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -93,6 +96,12 @@ func main() {
 			fatal(err)
 		}
 		if err := runQDSweep(cfg, depths, *metricsJSON, *quick); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *faults {
+		if err := runFaults(cfg, *faultSeed, *quick); err != nil {
 			fatal(err)
 		}
 		return

@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/units"
 )
 
@@ -71,6 +72,21 @@ func main() {
 		cfg.Latency.SLC.Program, cfg.Latency.SLC.Read,
 		cfg.Latency.TLC.Program, cfg.Latency.TLC.Read,
 		cfg.Latency.QLC.Program, cfg.Latency.QLC.Read)
+	fmt.Fprintf(w, "spare superblocks\t%d (bad-block replacement pool)\n", f.SpareSuperblocks())
+	if fc := cfg.FTL.Faults; fc != nil {
+		rr := fc.ReadRetryRounds
+		if rr == 0 {
+			rr = fault.DefaultReadRetryRounds
+		}
+		fmt.Fprintf(w, "fault injection\tseed %d, %d scripted faults, %d ECC retry rounds\n",
+			fc.Seed, len(fc.Scripts), rr)
+		fmt.Fprintf(w, "fault rates (prog/erase/read)\tSLC %g/%g/%g, TLC %g/%g/%g, QLC %g/%g/%g\n",
+			fc.SLC.ProgramFail, fc.SLC.EraseFail, fc.SLC.ReadFail,
+			fc.TLC.ProgramFail, fc.TLC.EraseFail, fc.TLC.ReadFail,
+			fc.QLC.ProgramFail, fc.QLC.EraseFail, fc.QLC.ReadFail)
+	} else {
+		fmt.Fprintf(w, "fault injection\tdisabled\n")
+	}
 	if err := w.Flush(); err != nil {
 		fatal(err)
 	}

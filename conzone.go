@@ -34,6 +34,7 @@ import (
 	"github.com/conzone/conzone/internal/check"
 	"github.com/conzone/conzone/internal/config"
 	"github.com/conzone/conzone/internal/confzns"
+	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/femu"
 	"github.com/conzone/conzone/internal/ftl"
 	"github.com/conzone/conzone/internal/host"
@@ -89,6 +90,49 @@ const (
 	Bitmap   = ftl.Bitmap
 	Multiple = ftl.Multiple
 	Pinned   = ftl.Pinned
+)
+
+// Fault-model types re-exported for robustness experiments: fill
+// FTLParams.Faults with a FaultConfig to make the simulated media fail.
+type (
+	// FaultConfig parameterizes the deterministic NAND fault model.
+	FaultConfig = fault.Config
+	// FaultProbabilities holds one media type's per-op failure rates.
+	FaultProbabilities = fault.Probabilities
+	// FaultScript deterministically fails one block's Nth operation.
+	FaultScript = fault.Script
+	// FaultOp identifies a scriptable media operation.
+	FaultOp = fault.Op
+	// HostStatus classifies a completion's outcome (NVMe-style status).
+	HostStatus = host.Status
+)
+
+// Scriptable fault operations.
+const (
+	FaultProgram = fault.OpProgram
+	FaultErase   = fault.OpErase
+	FaultRead    = fault.OpRead
+)
+
+// Completion status codes.
+const (
+	StatusOK         = host.StatusOK
+	StatusInvalid    = host.StatusInvalid
+	StatusWriteFault = host.StatusWriteFault
+	StatusMediaError = host.StatusMediaError
+	StatusReadOnly   = host.StatusReadOnly
+	StatusInternal   = host.StatusInternal
+)
+
+// Robustness sentinels, for errors.Is checks on I/O errors.
+var (
+	// ErrReadOnly reports that the device has degraded to read-only
+	// operation: its spare superblocks are exhausted, so write-class
+	// commands are rejected while reads keep working.
+	ErrReadOnly = fault.ErrReadOnly
+	// ErrUncorrectable reports a read that stayed uncorrectable after the
+	// ECC read-retry budget.
+	ErrUncorrectable = nand.ErrUncorrectable
 )
 
 // PaperConfig returns the paper's §IV-A evaluation configuration.
@@ -160,6 +204,12 @@ type Device struct {
 // Open builds a ConZone device from the configuration, with the default
 // host-interface queue layout (use ConfigureQueues to change it).
 func Open(cfg Config) (*Device, error) {
+	// Validate the latency table against the geometry up front: a missing
+	// or zero media entry must be a descriptive configuration error here,
+	// not a zero-latency simulation (or a crash) deep inside the first I/O.
+	if err := cfg.Latency.ValidateFor(cfg.Geometry); err != nil {
+		return nil, fmt.Errorf("conzone: %w", err)
+	}
 	f, err := cfg.NewConZone()
 	if err != nil {
 		return nil, err
@@ -408,6 +458,28 @@ func (d *Device) WAF() float64 {
 	defer d.mu.Unlock()
 	d.advance(d.h.Kick())
 	return d.f.WAF()
+}
+
+// ReadOnly reports whether the device has degraded to read-only operation:
+// grown-bad blocks consumed every spare superblock (or the SLC staging
+// region can no longer sustain writes). Write-class commands then fail with
+// ErrReadOnly; reads keep working. The transition is sticky.
+func (d *Device) ReadOnly() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.advance(d.h.Kick())
+	return d.f.ReadOnly()
+}
+
+// BadBlock is one grown-bad block record.
+type BadBlock = ftl.BadBlock
+
+// BadBlocks returns the device's grown-bad block table, in discovery order.
+func (d *Device) BadBlocks() []BadBlock {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.advance(d.h.Kick())
+	return d.f.BadBlockTable()
 }
 
 // WearReport summarises per-superblock erase counts.

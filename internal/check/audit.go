@@ -20,6 +20,7 @@
 //	wbuf-run        a buffered run is malformed (two buffers, out of zone)
 //	head-extent     bound superblock programmed extent vs. head mappings
 //	sb-binding      superblock bound/free accounting broken
+//	sb-retired      retired-superblock / bad-block table accounting broken
 //	staging-extent  staging write pointer vs. per-chip block append points
 //	cache-stale     an L2P cache entry translates differently than the table
 //	cache-gran      a cache entry is wider than the table's map bits
@@ -82,6 +83,9 @@ func audit(f *ftl.FTL) error {
 		return err
 	}
 	if err := auditSuperblocks(f); err != nil {
+		return err
+	}
+	if err := auditBadBlocks(f); err != nil {
 		return err
 	}
 	if err := auditStagingExtent(f); err != nil {
@@ -271,13 +275,14 @@ func auditZones(f *ftl.FTL, refs map[int64]int64, headMapped []int64) error {
 	return nil
 }
 
-// auditSuperblocks checks that every normal superblock is either bound to
-// exactly one zone or on the free list, and that free superblocks are
-// fully erased.
+// auditSuperblocks checks that every normal superblock is exactly one of
+// bound to a zone, on the free list, or retired, and that free superblocks
+// are fully erased.
 func auditSuperblocks(f *ftl.FTL) error {
 	geo := f.Geometry()
 	arr := f.Array()
 	free := f.FreeSBList()
+	retired := f.RetiredSBList()
 	boundTo := make(map[int]int)
 	for zone := 0; zone < f.NumZones(); zone++ {
 		zd, err := f.ZoneDebugInfo(zone)
@@ -292,9 +297,25 @@ func auditSuperblocks(f *ftl.FTL) error {
 		}
 		boundTo[zd.SB] = zone
 	}
+	retiredSet := make(map[int]bool, len(retired))
+	for _, sb := range retired {
+		if sb < 0 || sb >= geo.NormalBlocks() {
+			return fmt.Errorf("audit[sb-retired]: retired superblock %d outside [0,%d)", sb, geo.NormalBlocks())
+		}
+		if retiredSet[sb] {
+			return fmt.Errorf("audit[sb-retired]: superblock %d retired twice", sb)
+		}
+		retiredSet[sb] = true
+		if zone, dup := boundTo[sb]; dup {
+			return fmt.Errorf("audit[sb-retired]: superblock %d both retired and bound to zone %d", sb, zone)
+		}
+	}
 	for _, sb := range free {
 		if zone, dup := boundTo[sb]; dup {
 			return fmt.Errorf("audit[sb-binding]: superblock %d both free and bound to zone %d", sb, zone)
+		}
+		if retiredSet[sb] {
+			return fmt.Errorf("audit[sb-retired]: superblock %d both retired and free", sb)
 		}
 		block := geo.FirstNormalBlock() + sb
 		for chip := 0; chip < geo.Chips(); chip++ {
@@ -303,8 +324,49 @@ func auditSuperblocks(f *ftl.FTL) error {
 			}
 		}
 	}
-	if len(boundTo)+len(free) != geo.NormalBlocks() {
-		return fmt.Errorf("audit[sb-binding]: %d bound + %d free superblocks != %d total", len(boundTo), len(free), geo.NormalBlocks())
+	if len(boundTo)+len(free)+len(retired) != geo.NormalBlocks() {
+		return fmt.Errorf("audit[sb-binding]: %d bound + %d free + %d retired superblocks != %d total",
+			len(boundTo), len(free), len(retired), geo.NormalBlocks())
+	}
+	return nil
+}
+
+// auditBadBlocks checks the grown-bad bookkeeping: the bad-block table and
+// the retired-superblock list record the same failures (one record per
+// retirement, each naming a chip and block inside the retired superblock),
+// the retirement counters match the lists, and nothing is retired at all
+// while the fault model is disabled.
+func auditBadBlocks(f *ftl.FTL) error {
+	geo := f.Geometry()
+	retired := f.RetiredSBList()
+	bad := f.BadBlockTable()
+	slcRetired := f.Staging().RetiredSuperblocks()
+	if f.FaultInjector() == nil && (len(bad) > 0 || len(retired) > 0 || slcRetired > 0) {
+		return fmt.Errorf("audit[sb-retired]: fault model disabled but %d bad blocks, %d retired normal and %d retired SLC superblocks recorded",
+			len(bad), len(retired), slcRetired)
+	}
+	if len(bad) != len(retired) {
+		return fmt.Errorf("audit[sb-retired]: %d bad-block records but %d retired superblocks", len(bad), len(retired))
+	}
+	retiredSet := make(map[int]bool, len(retired))
+	for _, sb := range retired {
+		retiredSet[sb] = true
+	}
+	for i, bb := range bad {
+		if bb.Chip < 0 || bb.Chip >= geo.Chips() {
+			return fmt.Errorf("audit[sb-retired]: bad-block record %d names chip %d of %d", i, bb.Chip, geo.Chips())
+		}
+		sb := bb.Block - geo.FirstNormalBlock()
+		if !retiredSet[sb] {
+			return fmt.Errorf("audit[sb-retired]: bad-block record %d names block %d (superblock %d) which is not retired", i, bb.Block, sb)
+		}
+	}
+	st := f.Stats()
+	if st.RetiredSuperblocks != int64(len(retired)) {
+		return fmt.Errorf("audit[sb-retired]: stats count %d retired superblocks but the list holds %d", st.RetiredSuperblocks, len(retired))
+	}
+	if got := f.Staging().Stats().Retired; got != int64(slcRetired) {
+		return fmt.Errorf("audit[sb-retired]: staging stats count %d retired superblocks but the region reports %d", got, slcRetired)
 	}
 	return nil
 }
@@ -321,6 +383,12 @@ func auditStagingExtent(f *ftl.FTL) error {
 	spp := int64(geo.SectorsPerPage())
 	cur, curPos := reg.WritePoint()
 	for sb := 0; sb < reg.SuperblockCount(); sb++ {
+		if reg.IsRetired(sb) {
+			// Retired superblocks are frozen with whatever extent they had
+			// when the failure struck (possibly mid-append); the write
+			// pointer no longer describes them.
+			continue
+		}
 		pos := reg.SectorsPerSuperblock()
 		switch {
 		case sb == cur:

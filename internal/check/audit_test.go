@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/ftl"
 	"github.com/conzone/conzone/internal/mapping"
 	"github.com/conzone/conzone/internal/sim"
@@ -14,7 +16,12 @@ import (
 // buffered run, so every invariant has real state to check.
 func newAuditFTL(t *testing.T) *ftl.FTL {
 	t.Helper()
-	f, err := FuzzConfig().NewConZone()
+	return newAuditFTLWith(t, FuzzConfig())
+}
+
+func newAuditFTLWith(t *testing.T, cfg config.DeviceConfig) *ftl.FTL {
+	t.Helper()
+	f, err := cfg.NewConZone()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +129,40 @@ func TestAuditCatchesCorruption(t *testing.T) {
 			t.Fatal(err)
 		}
 		expect(t, f, "map-staging")
+	})
+
+	t.Run("retired superblock still free", func(t *testing.T) {
+		f := newAuditFTL(t)
+		free := f.FreeSBList()
+		if len(free) == 0 {
+			t.Fatal("audit fixture has no free superblock")
+		}
+		// Record a retirement without pulling the superblock off the free
+		// list — the exactly-one-of bound/free/retired identity breaks.
+		f.DebugRetireSB(free[0], ftl.BadBlock{
+			Chip:  0,
+			Block: f.Geometry().FirstNormalBlock() + free[0],
+			Op:    fault.OpErase,
+		})
+		expect(t, f, "sb-retired")
+	})
+
+	t.Run("orphan bad-block record", func(t *testing.T) {
+		// Arm the fault model (zero rates: nothing fires) so the audit
+		// reaches the bad-block/retired-list cross-check itself.
+		cfg := FuzzConfig()
+		cfg.FTL.Faults = &fault.Config{Seed: 1}
+		f := newAuditFTLWith(t, cfg)
+		f.DebugAddBadBlock(ftl.BadBlock{Chip: 0, Block: f.Geometry().FirstNormalBlock(), Op: fault.OpProgram})
+		expect(t, f, "sb-retired")
+	})
+
+	t.Run("retirement with faults disabled", func(t *testing.T) {
+		f := newAuditFTL(t)
+		// A bad-block record on a device without a fault model is a
+		// contradiction in itself.
+		f.DebugAddBadBlock(ftl.BadBlock{Chip: 0, Block: f.Geometry().FirstNormalBlock(), Op: fault.OpProgram})
+		expect(t, f, "sb-retired")
 	})
 
 	t.Run("write pointer without data", func(t *testing.T) {

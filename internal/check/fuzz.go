@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/ftl"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/slc"
@@ -462,8 +463,12 @@ func (r *replayer) step(op Op) error {
 // reads against the oracle and (for ConZone) running the full invariant
 // audit every auditEvery ops and once at the end. It returns how many ops
 // executed and the first divergence. A device that genuinely fills up
-// (slc.ErrNoSpace) ends the replay early without error — space exhaustion
-// under a hostile schedule is an outcome, not a bug.
+// (slc.ErrNoSpace) or degrades to read-only after exhausting its spare
+// superblocks (fault.ErrReadOnly) ends the replay early without error —
+// space exhaustion or graceful degradation under a hostile schedule is an
+// outcome, not a bug. A mid-write error can leave the FTL with mapped
+// sectors ahead of the uncommitted write pointer, so the early return
+// deliberately skips the final audit.
 func Replay(p Personality, cfg config.DeviceConfig, ops []Op, auditEvery int) (executed int, err error) {
 	r, err := newReplayer(p, cfg)
 	if err != nil {
@@ -471,7 +476,7 @@ func Replay(p Personality, cfg config.DeviceConfig, ops []Op, auditEvery int) (e
 	}
 	for i, op := range ops {
 		if err := r.step(op); err != nil {
-			if errors.Is(err, slc.ErrNoSpace) {
+			if errors.Is(err, slc.ErrNoSpace) || errors.Is(err, fault.ErrReadOnly) {
 				return i, nil
 			}
 			return i, fmt.Errorf("%s op %d (%s): %w", p, i, op, err)
@@ -540,6 +545,48 @@ func RunSequence(seed uint64, nOps, auditEvery int) error {
 			return fmt.Errorf("seed %#x on %s: %w\nminimal reproducer (%d ops):\n%s",
 				seed, p, err, len(min), FormatOps(min))
 		}
+	}
+	return nil
+}
+
+// FaultFuzzConfig returns the fuzz configuration with the NAND fault model
+// armed: spare superblocks reserved, program and erase failures on every
+// media type, and transient read failures with a retry budget deep enough
+// that an uncorrectable read is out of reach (p^(1+rounds) ≈ 1e-18 per
+// read). That last property is load-bearing — it keeps the oracle exact, so
+// the harness can assert that no acknowledged write is ever lost while
+// program failures relocate, erase failures retire blocks, and reads retry.
+func FaultFuzzConfig(seed uint64) config.DeviceConfig {
+	c := FuzzConfig()
+	c.FTL.SpareSuperblocks = 2
+	c.FTL.Faults = &fault.Config{
+		Seed:            seed ^ 0xFA017,
+		SLC:             fault.Probabilities{ProgramFail: 0.002, EraseFail: 0.002, ReadFail: 0.01},
+		TLC:             fault.Probabilities{ProgramFail: 0.01, EraseFail: 0.01, ReadFail: 0.01},
+		ReadRetryRounds: 8,
+		WearRefErases:   64,
+	}
+	return c
+}
+
+// RunSequenceFaults replays a seeded sequence against the ConZone
+// personality with faults injected underneath it. The pass criteria are the
+// ISSUE's: every read still matches the oracle (no acknowledged write is
+// lost to a recovered fault), the cross-subsystem audit — including the
+// bad-block and spare-pool invariants — stays clean throughout, and spare
+// exhaustion ends the run as a clean read-only degradation, never a panic.
+// The other personalities have no fault model, so this entry is ConZone-only.
+func RunSequenceFaults(seed uint64, nOps, auditEvery int) error {
+	cfg := FaultFuzzConfig(seed)
+	probe, err := cfg.NewConZone()
+	if err != nil {
+		return err
+	}
+	ops := GenOps(seed, nOps, probe.NumZones(), probe.ZoneCapSectors())
+	if _, err := Replay(ConZone, cfg, ops, auditEvery); err != nil {
+		min := Shrink(ConZone, cfg, ops, auditEvery)
+		return fmt.Errorf("faulty seed %#x: %w\nminimal reproducer (%d ops):\n%s",
+			seed, err, len(min), FormatOps(min))
 	}
 	return nil
 }

@@ -25,6 +25,69 @@ func FuzzDeviceOps(f *testing.F) {
 	})
 }
 
+// FuzzDeviceOpsFaults is the fault-enabled fuzz target: the same seeded op
+// sequences replayed against ConZone with the NAND fault model armed
+// (FaultFuzzConfig). Program and erase failures must be absorbed by
+// bad-block relocation and retirement without ever diverging from the
+// oracle or tripping an audit, and spare exhaustion must end the run as a
+// clean read-only degradation.
+//
+// Run it with:
+//
+//	go test -fuzz=FuzzDeviceOpsFaults -fuzztime=30s ./internal/check
+func FuzzDeviceOpsFaults(f *testing.F) {
+	f.Add(uint64(7), uint16(300))
+	f.Add(uint64(0xBAD1), uint16(500))
+	f.Add(uint64(0xFA11ED), uint16(900))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16) {
+		nOps := int(n)%1024 + 16
+		if err := RunSequenceFaults(seed, nOps, 32); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFuzzFaultSeeds is the deterministic smoke run over the fault-enabled
+// seed corpus (the same pairs FuzzDeviceOpsFaults starts from), so plain
+// `go test` exercises the fault-recovery paths without -fuzz.
+func TestFuzzFaultSeeds(t *testing.T) {
+	seeds := []struct {
+		seed uint64
+		n    int
+	}{{7, 300}, {0xBAD1, 500}, {0xFA11ED, 900}}
+	for _, s := range seeds {
+		nOps := s.n%1024 + 16
+		if err := RunSequenceFaults(s.seed, nOps, 32); err != nil {
+			t.Fatalf("seed %#x: %v", s.seed, err)
+		}
+	}
+}
+
+// TestFuzzFaultsInjectSomething guards the fault corpus against silently
+// going stale: at least one corpus seed must actually produce program or
+// erase failures on the replayed device, or the fault fuzz proves nothing.
+func TestFuzzFaultsInjectSomething(t *testing.T) {
+	cfg := FaultFuzzConfig(0xBAD1)
+	dev, err := cfg.NewConZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := GenOps(0xBAD1, 516, dev.NumZones(), dev.ZoneCapSectors())
+	r := &replayer{p: ConZone, dev: dev, zd: dev, f: dev}
+	r.vers = make([]uint32, dev.TotalSectors())
+	r.wp = make([]int64, dev.NumZones())
+	r.full = make([]bool, dev.NumZones())
+	for _, op := range ops {
+		if err := r.step(op); err != nil {
+			break // clean early end (read-only / no space) is fine here
+		}
+	}
+	st := dev.Stats()
+	if st.ProgramFails == 0 && st.EraseFails == 0 && st.ReadRetries == 0 {
+		t.Fatalf("fault corpus seed injected nothing: %+v", st)
+	}
+}
+
 // TestFuzzDeviceOps10K is the acceptance run: a fixed seed drives at least
 // 10k ops through every personality, with every read checked against the
 // oracle and the ConZone audit clean after every 64-op batch.

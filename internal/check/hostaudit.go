@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/conzone/conzone/internal/host"
+	"github.com/conzone/conzone/internal/obs"
 )
 
 // AuditHost verifies the bookkeeping identities of the multi-queue host
@@ -21,8 +22,29 @@ import (
 //	                outstanding counter disagrees with its pending and
 //	                completion-queue contents, a tag repeats, or a tag
 //	                was never issued
+//	host-lost       the controller lost track of a dispatched command's
+//	                completion (it synthesized a StatusInternal completion
+//	                instead of panicking; any occurrence is a violation)
+//
+// When the backend has a lifecycle recorder attached, violations carry the
+// flight recorder's tail, like Audit's.
 func AuditHost(c *host.Controller) error {
+	err := auditHost(c)
+	if err == nil {
+		return nil
+	}
+	if tail := obs.FormatTail(c.Recorder(), auditTailEvents); tail != "" {
+		return fmt.Errorf("%w\nflight recorder (last %d lifecycle events):\n%s",
+			err, len(c.Recorder().Tail(auditTailEvents)), tail)
+	}
+	return err
+}
+
+func auditHost(c *host.Controller) error {
 	st := c.DebugSnapshot()
+	if st.LostCompletions > 0 {
+		return fmt.Errorf("audit[host-lost]: controller lost %d completions (internal bookkeeping corrupt)", st.LostCompletions)
+	}
 	if err := auditHostTags(c, st); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -160,6 +161,23 @@ func TestAuditHostDetectsDuplicateTag(t *testing.T) {
 		t.Fatal("corruption hook missed the completion")
 	}
 	wantHostViolation(t, c, "host-tags")
+}
+
+func TestAuditHostDetectsLostCompletion(t *testing.T) {
+	c := newAuditHost(t)
+	// Arm the dispatcher to swallow the next sync completion: the write must
+	// come back as a synthesized internal-error completion (not a panic),
+	// and the audit must flag the controller as having lost one.
+	c.DebugLoseSyncCompletions(1)
+	payloads := [][]byte{payloadFor(16, 1)}
+	_, err := c.Write(c.MaxDone(), 16, payloads)
+	if !errors.Is(err, host.ErrLostCompletion) {
+		t.Fatalf("lost sync completion returned %v, want ErrLostCompletion", err)
+	}
+	if got := c.LostCompletions(); got != 1 {
+		t.Fatalf("LostCompletions = %d, want 1", got)
+	}
+	wantHostViolation(t, c, "host-lost")
 }
 
 func TestAuditHostDetectsFlushAllBarrierViolation(t *testing.T) {

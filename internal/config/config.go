@@ -121,6 +121,9 @@ func (c DeviceConfig) Validate() error {
 	if err := c.Latency.Validate(); err != nil {
 		return err
 	}
+	if err := c.Latency.ValidateFor(c.Geometry); err != nil {
+		return err
+	}
 	// Build throwaway devices to surface parameter errors early.
 	if _, err := ftl.New(c.Geometry, c.Latency, c.FTL); err != nil {
 		return fmt.Errorf("config: FTL params: %w", err)

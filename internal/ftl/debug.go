@@ -9,8 +9,9 @@ import (
 )
 
 // This file exposes read-only views of the FTL's internal bookkeeping for
-// the cross-subsystem invariant auditor (internal/check). Nothing here
-// mutates state.
+// the cross-subsystem invariant auditor (internal/check), plus corruption
+// hooks (Debug* mutators) the auditor's own tests use to prove each
+// invariant actually fires. Production code never calls the mutators.
 
 // AggLimit returns the first staged PSN: PSNs below it are reserved
 // (zone-linear) placement, PSNs at or above it index the SLC staging region.
@@ -26,6 +27,15 @@ func (f *FTL) ResolvePSN(psn mapping.PSN) (nand.Addr, error) { return f.psnLoc(p
 
 // FreeSBList returns a copy of the free normal-superblock pool.
 func (f *FTL) FreeSBList() []int { return append([]int(nil), f.freeSBs...) }
+
+// DebugRetireSB is a corruption hook: it records superblock sb as retired
+// (with its bad-block entry) without removing it from the free list or any
+// zone binding, desynchronizing the grown-bad bookkeeping on purpose.
+func (f *FTL) DebugRetireSB(sb int, bb BadBlock) { f.retireSB(sb, bb) }
+
+// DebugAddBadBlock is a corruption hook: it appends a bad-block record with
+// no matching retired superblock.
+func (f *FTL) DebugAddBadBlock(bb BadBlock) { f.badBlocks = append(f.badBlocks, bb) }
 
 // ZoneDebug is a read-only snapshot of one zone's FTL bookkeeping.
 type ZoneDebug struct {

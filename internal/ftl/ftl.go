@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/l2pcache"
 	"github.com/conzone/conzone/internal/mapping"
 	"github.com/conzone/conzone/internal/nand"
@@ -116,6 +117,19 @@ type Params struct {
 	// host request that tripped it. 0 disables the model (the paper's own
 	// artifact defers persistence to future work).
 	L2PLogEntries int64
+
+	// SpareSuperblocks reserves normal superblocks for bad-block
+	// replacement instead of exposing them as zones: the zone count drops
+	// by this many, and the reserve feeds program-fail relocation and
+	// erase-fail retirement. 0 (the default) keeps the historical zone
+	// count — the device then degrades to read-only on the first
+	// unrecoverable failure.
+	SpareSuperblocks int
+
+	// Faults enables the deterministic NAND fault model beneath the array
+	// (internal/fault). nil — the default — means the media never fails
+	// and the fault bookkeeping stays entirely off the I/O paths.
+	Faults *fault.Config
 }
 
 // Stats aggregates the FTL-level counters on top of the substrate stats.
@@ -134,6 +148,17 @@ type Stats struct {
 	BufferReads      int64 // read sectors served from the volatile write buffer
 	L2PLogFlushes    int64 // L2P log persistence events (blocking)
 	L2PLogPages      int64 // map-region pages those flushes programmed
+
+	// Fault-model and bad-block-management counters. All zero with faults
+	// disabled; the NAND-level ones are mirrored from the fault injector.
+	ProgramFails       int64 // NAND program operations that returned status FAIL
+	EraseFails         int64 // NAND erase operations that returned status FAIL
+	ReadRetries        int64 // extra ECC sense rounds charged across all reads
+	UncorrectableReads int64 // reads that exhausted the ECC retry budget
+	Relocations        int64 // program-fail recoveries: superblock re-bound to a spare
+	RelocatedSectors   int64 // sectors copied old-superblock -> spare during recoveries
+	RetiredSuperblocks int64 // normal superblocks retired (grown bad)
+	LostAckSectors     int64 // acknowledged sectors a failed flush could not restore (must stay 0)
 }
 
 // Delta returns the counter changes from prev to s, so interval reporting
@@ -154,6 +179,15 @@ func (s Stats) Delta(prev Stats) Stats {
 		BufferReads:      s.BufferReads - prev.BufferReads,
 		L2PLogFlushes:    s.L2PLogFlushes - prev.L2PLogFlushes,
 		L2PLogPages:      s.L2PLogPages - prev.L2PLogPages,
+
+		ProgramFails:       s.ProgramFails - prev.ProgramFails,
+		EraseFails:         s.EraseFails - prev.EraseFails,
+		ReadRetries:        s.ReadRetries - prev.ReadRetries,
+		UncorrectableReads: s.UncorrectableReads - prev.UncorrectableReads,
+		Relocations:        s.Relocations - prev.Relocations,
+		RelocatedSectors:   s.RelocatedSectors - prev.RelocatedSectors,
+		RetiredSuperblocks: s.RetiredSuperblocks - prev.RetiredSuperblocks,
+		LostAckSectors:     s.LostAckSectors - prev.LostAckSectors,
 	}
 }
 
@@ -213,6 +247,14 @@ type FTL struct {
 
 	zstate  []zoneState
 	freeSBs []int // normal superblock ids ready for binding
+
+	// Bad-block management state. All empty/false until the fault model
+	// produces a failure, so none of it costs anything in steady state.
+	inj        *fault.Injector // nil with faults disabled
+	retiredSBs []int           // normal superblock ids frozen out of service
+	badBlocks  []BadBlock      // grown-bad per-chip blocks, discovery order
+	readOnly   bool            // sticky: spares exhausted, writes rejected
+	relocBuf   [][]byte        // lazily sized scratch for relocation copies
 
 	// bufFlush holds the release times of each buffer's most recent
 	// flushes, one fixed ring per buffer. A write waits until fewer than
@@ -309,9 +351,17 @@ func NewWithArray(arr *nand.Array, p Params) (*FTL, error) {
 		geo:        geo,
 		puSectors:  geo.ProgramUnit / units.Sector,
 		sbSectors:  geo.SuperblockBytes() / units.Sector,
-		numZones:   geo.NormalBlocks(),
+		numZones:   geo.NormalBlocks() - p.SpareSuperblocks,
 		spp:        geo.SectorsPerPage(),
 		pagesPerPU: geo.PagesPerPU(),
+	}
+	if p.Faults != nil {
+		inj, err := fault.New(*p.Faults)
+		if err != nil {
+			return nil, err
+		}
+		f.inj = inj
+		arr.SetFaultInjector(inj)
 	}
 	f.zoneCap = f.sbSectors
 	if p.AlignZones {
@@ -367,6 +417,11 @@ func NewWithArray(arr *nand.Array, p Params) (*FTL, error) {
 		// blocks stay in the free pool (usable as future spares).
 		f.freeSBs = append(f.freeSBs, i)
 	}
+	// Reserved spares join the free pool behind the per-zone superblocks:
+	// they are drawn on only when a failure retires a block ahead of them.
+	for i := f.numZones; i < geo.NormalBlocks(); i++ {
+		f.freeSBs = append(f.freeSBs, i)
+	}
 	if p.ConventionalZones > 0 {
 		need := int64(p.ConventionalZones) * f.zoneCap
 		have := f.staging.TotalSectors() - 2*f.staging.SectorsPerSuperblock()
@@ -400,6 +455,16 @@ func validateParams(geo nand.Geometry, p Params) error {
 		return fmt.Errorf("ftl: negative ConventionalZones %d", p.ConventionalZones)
 	case p.L2PLogEntries < 0:
 		return fmt.Errorf("ftl: negative L2PLogEntries %d", p.L2PLogEntries)
+	case p.SpareSuperblocks < 0:
+		return fmt.Errorf("ftl: negative SpareSuperblocks %d", p.SpareSuperblocks)
+	case p.SpareSuperblocks >= geo.NormalBlocks():
+		return fmt.Errorf("ftl: %d spare superblocks leave no zones of %d normal blocks",
+			p.SpareSuperblocks, geo.NormalBlocks())
+	}
+	if p.Faults != nil {
+		if err := p.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -437,8 +502,29 @@ func (f *FTL) ZoneCapSectors() int64 { return f.zoneCap }
 // TotalSectors returns the logical capacity in sectors.
 func (f *FTL) TotalSectors() int64 { return int64(f.numZones) * f.zoneCap }
 
-// Stats returns a snapshot of FTL-level counters.
-func (f *FTL) Stats() Stats { return f.stats }
+// Stats returns a snapshot of FTL-level counters. The NAND-level fault
+// counters are mirrored in from the injector, so one snapshot covers the
+// whole robustness picture.
+func (f *FTL) Stats() Stats {
+	s := f.stats
+	if f.inj != nil {
+		fs := f.inj.Stats()
+		s.ProgramFails = fs.ProgramFails
+		s.EraseFails = fs.EraseFails
+		s.ReadRetries = fs.ReadRetries
+		s.UncorrectableReads = fs.Uncorrectable
+	}
+	return s
+}
+
+// ReadOnly reports whether the device has degraded to read-only operation
+// (spare superblocks exhausted or the SLC staging region unable to sustain
+// writes). The transition is sticky.
+func (f *FTL) ReadOnly() bool { return f.readOnly }
+
+// FaultInjector returns the attached fault injector (nil when faults are
+// disabled).
+func (f *FTL) FaultInjector() *fault.Injector { return f.inj }
 
 // WAF returns the write amplification factor observed so far: NAND bytes
 // programmed over host bytes written.
@@ -520,13 +606,16 @@ func (f *FTL) maybeFlushL2PLog(at sim.Time) (sim.Time, error) {
 // errZoneUnbound is an internal signal; it should never escape the FTL.
 var errZoneUnbound = errors.New("ftl: zone has no bound superblock")
 
-// bindSB attaches a free normal superblock to the zone.
+// bindSB attaches a free normal superblock to the zone. An empty pool means
+// retirement consumed the zone's superblock and every spare: the device
+// degrades to read-only.
 func (f *FTL) bindSB(zone int) error {
 	if f.zstate[zone].sb >= 0 {
 		return nil
 	}
 	if len(f.freeSBs) == 0 {
-		return fmt.Errorf("ftl: no free superblock for zone %d", zone)
+		f.readOnly = true
+		return fmt.Errorf("ftl: no free superblock for zone %d: %w", zone, fault.ErrReadOnly)
 	}
 	f.zstate[zone].sb = f.freeSBs[0]
 	f.freeSBs = f.freeSBs[1:]

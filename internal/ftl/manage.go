@@ -1,8 +1,11 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
+	"github.com/conzone/conzone/internal/fault"
+	"github.com/conzone/conzone/internal/nand"
 	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 )
@@ -13,6 +16,9 @@ import (
 // every entry of the zone. No valid-page migration happens — the host owns
 // validity in the normal region.
 func (f *FTL) ResetZone(at sim.Time, zone int) (sim.Time, error) {
+	if err := f.checkWritable(); err != nil {
+		return at, err
+	}
 	if err := f.zones.Reset(zone); err != nil {
 		return at, err
 	}
@@ -40,20 +46,30 @@ func (f *FTL) ResetZone(at sim.Time, zone int) (sim.Time, error) {
 	zs.tailContig = false
 
 	// Erase the bound superblock's block on every chip and return it to
-	// the free pool.
+	// the free pool. An erase failure retires the superblock on the spot —
+	// it never re-enters the pool — and the zone simply unbinds; its next
+	// write draws a fresh superblock (a spare, transitively). The reset
+	// itself still succeeds: the host's view of the zone is empty either way.
 	if zs.sb >= 0 {
 		block := f.geo.FirstNormalBlock() + zs.sb
 		for chip := 0; chip < f.geo.Chips(); chip++ {
 			d, err := f.arr.Erase(at, chip, block)
-			if err != nil {
-				return at, err
-			}
 			if d > done {
 				done = d
 			}
+			if err != nil {
+				if errors.Is(err, nand.ErrEraseFail) {
+					f.retireSB(zs.sb, BadBlock{Chip: chip, Block: block, Op: fault.OpErase})
+					zs.sb = -1
+					break
+				}
+				return at, err
+			}
 		}
-		f.freeSBs = append(f.freeSBs, zs.sb)
-		zs.sb = -1
+		if zs.sb >= 0 {
+			f.freeSBs = append(f.freeSBs, zs.sb)
+			zs.sb = -1
+		}
 	}
 
 	// Drop mapping entries and cached translations.

@@ -1,0 +1,86 @@
+package ftl
+
+import (
+	"testing"
+
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// TestWearMonotonicAcrossGCAndResets drives full-zone write/reset cycles —
+// each cycle erases the zone's normal superblock on reset and pushes the
+// zone's 128-sector alignment tail through SLC staging, whose garbage
+// collection erases staging superblocks once the region fills. The wear
+// report must track both regions: per-superblock erase counts only ever
+// grow, and by the end both the normal and the SLC series have advanced.
+func TestWearMonotonicAcrossGCAndResets(t *testing.T) {
+	geo := testGeo()
+	f := newTestFTL(t)
+	zcap := f.ZoneCapSectors()
+	now := sim.Time(0)
+
+	prev := f.Wear()
+	if len(prev.NormalSB) != geo.NormalBlocks() {
+		t.Fatalf("NormalSB series has %d entries, want %d", len(prev.NormalSB), geo.NormalBlocks())
+	}
+	if len(prev.SLCSB) != geo.SLCBlocks {
+		t.Fatalf("SLCSB series has %d entries, want %d", len(prev.SLCSB), geo.SLCBlocks)
+	}
+
+	check := func(cycle int, prev, cur WearReport) {
+		t.Helper()
+		for i := range cur.NormalSB {
+			if cur.NormalSB[i] < prev.NormalSB[i] {
+				t.Fatalf("cycle %d: normal superblock %d wear went backwards: %v -> %v",
+					cycle, i, prev.NormalSB[i], cur.NormalSB[i])
+			}
+		}
+		for i := range cur.SLCSB {
+			if cur.SLCSB[i] < prev.SLCSB[i] {
+				t.Fatalf("cycle %d: SLC superblock %d wear went backwards: %v -> %v",
+					cycle, i, prev.SLCSB[i], cur.SLCSB[i])
+			}
+		}
+	}
+	sum := func(s []float64) float64 {
+		var total float64
+		for _, v := range s {
+			total += v
+		}
+		return total
+	}
+
+	for cycle := 0; cycle < 10; cycle++ {
+		zone := cycle % 2
+		lba := int64(zone) * zcap
+		d, err := f.Write(now, lba, payloadsFor(lba, zcap))
+		if err != nil {
+			t.Fatalf("cycle %d: write: %v", cycle, err)
+		}
+		if d, err = f.Flush(d, zone); err != nil {
+			t.Fatalf("cycle %d: flush: %v", cycle, err)
+		}
+		verifyRead(t, f, d, lba, zcap)
+		if d, err = f.ResetZone(d, zone); err != nil {
+			t.Fatalf("cycle %d: reset: %v", cycle, err)
+		}
+		now = d
+
+		cur := f.Wear()
+		check(cycle, prev, cur)
+		prev = cur
+	}
+
+	if sum(prev.NormalSB) == 0 {
+		t.Fatal("normal-region wear never advanced across 10 write/reset cycles")
+	}
+	if sum(prev.SLCSB) == 0 {
+		t.Fatal("SLC-region wear never advanced: staging GC never erased a superblock")
+	}
+	// Resets rotate the zone across free superblocks (bind order is draw
+	// order), so wear must not all land on one superblock while the rest of
+	// the pool stays untouched.
+	max, min := MaxMin(prev.NormalSB)
+	if max > 0 && max == sum(prev.NormalSB) {
+		t.Fatalf("all normal wear landed on one superblock (max %v, min %v): free-pool rotation broken", max, min)
+	}
+}

@@ -1,9 +1,11 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/conzone/conzone/internal/mapping"
+	"github.com/conzone/conzone/internal/nand"
 	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/slc"
@@ -17,6 +19,9 @@ import (
 // flush of that buffer and may trigger premature flushes of a conflicting
 // zone's data.
 func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error) {
+	if err := f.checkWritable(); err != nil {
+		return at, err
+	}
 	arrival := at
 	n := int64(len(payloads))
 	zone, err := f.zones.ValidateWrite(lba, n)
@@ -31,8 +36,9 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 	if f.zstate[zone].conv {
 		if start, cnt := f.bufs.Buffered(zone); cnt > 0 && lba != start+cnt {
 			if fl := f.bufs.Take(zone); fl != nil {
-				rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, obs.CauseConvDrain)
+				rel, done, landed, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, obs.CauseConvDrain)
 				if err != nil {
+					f.restoreRun(fl.Zone, fl.StartLBA+landed, fl.Payloads[landed:])
 					return at, fmt.Errorf("ftl: conventional drain of zone %d: %w", fl.Zone, err)
 				}
 				f.noteFlush(bi, rel)
@@ -46,8 +52,11 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 	// *next* flush of this buffer waits for it (bufAvail above).
 	if ev := f.bufs.Evict(zone); ev != nil {
 		f.stats.PrematureFlushes++
-		rel, done, err := f.flushRun(at, ev.Zone, ev.StartLBA, ev.Payloads, causeOf(ev.Reason))
+		rel, done, landed, err := f.flushRun(at, ev.Zone, ev.StartLBA, ev.Payloads, causeOf(ev.Reason))
 		if err != nil {
+			// The evicted run was acknowledged long ago; put what did not
+			// land back and fail only the incoming write.
+			f.restoreRun(ev.Zone, ev.StartLBA+landed, ev.Payloads[landed:])
 			return at, fmt.Errorf("ftl: premature flush of zone %d: %w", ev.Zone, err)
 		}
 		f.noteFlush(bi, rel)
@@ -59,9 +68,33 @@ func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
 		return at, err
 	}
 	release, done := at, at
-	for _, fl := range flushes {
-		rel, d, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, causeOf(fl.Reason))
+	for fi, fl := range flushes {
+		rel, d, landed, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, causeOf(fl.Reason))
 		if err != nil {
+			// A drained run can mix previously acknowledged sectors with this
+			// request's new ones; none of the acknowledged ones may be
+			// dropped. Rebuild the buffered run back-to-front so each restore
+			// stays contiguous: untouched later flushes first, then this
+			// flush's un-landed remainder.
+			for j := len(flushes) - 1; j > fi; j-- {
+				f.restoreRun(flushes[j].Zone, flushes[j].StartLBA, flushes[j].Payloads)
+			}
+			f.restoreRun(fl.Zone, fl.StartLBA+landed, fl.Payloads[landed:])
+			// This request itself failed, so its own sectors were never
+			// acknowledged: roll them back out of the buffer. Any prefix of
+			// the request that already reached media keeps its mapping and
+			// advances the write pointer, so media, mapping, WP and buffer
+			// stay mutually consistent (the audit's zone-wp identities hold
+			// even after a failed write).
+			trimAt := lba
+			if landedEnd := fl.StartLBA + landed; landedEnd > lba {
+				if cerr := f.zones.CommitWrite(lba, landedEnd-lba); cerr != nil {
+					return at, fmt.Errorf("ftl: flush of zone %d: %w (committing landed prefix: %v)",
+						fl.Zone, err, cerr)
+				}
+				trimAt = landedEnd
+			}
+			f.bufs.TrimFrom(zone, trimAt)
 			return at, fmt.Errorf("ftl: flush of zone %d: %w", fl.Zone, err)
 		}
 		if rel > release {
@@ -121,8 +154,12 @@ func (f *FTL) Flush(at sim.Time, zone int) (sim.Time, error) {
 	if fl == nil {
 		return at, nil
 	}
-	rel, done, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, causeOf(fl.Reason))
+	rel, done, landed, err := f.flushRun(at, fl.Zone, fl.StartLBA, fl.Payloads, causeOf(fl.Reason))
 	if err != nil {
+		// The run was acknowledged when the buffer accepted it; a failed
+		// flush must not drop it. Whatever did not land goes back into the
+		// buffer, where it stays readable and a later flush retries it.
+		f.restoreRun(fl.Zone, fl.StartLBA+landed, fl.Payloads[landed:])
 		return at, err
 	}
 	f.noteFlush(f.bufs.BufferIndex(zone), rel)
@@ -147,16 +184,35 @@ func (f *FTL) FlushAll(at sim.Time) (sim.Time, error) {
 	return done, nil
 }
 
+// restoreRun returns a failed flush's un-landed sectors to the write buffer
+// (no-op for an empty remainder). These sectors were acknowledged to the
+// host when the buffer accepted them; restoring keeps them readable and lets
+// a later flush retry. A restore can only be rejected if an unrelated run
+// claimed the buffer mid-flush, which no current path allows — if it ever
+// happens the loss is counted instead of silently ignored.
+func (f *FTL) restoreRun(zone int, startLBA int64, payloads [][]byte) {
+	if len(payloads) == 0 {
+		return
+	}
+	if err := f.bufs.Restore(zone, startLBA, payloads); err != nil {
+		f.stats.LostAckSectors += int64(len(payloads))
+	}
+}
+
 // flushRun routes one contiguous buffered run of a zone to media,
 // implementing the decision of Fig. 3: whole program units go directly to
 // the zone's reserved normal superblock (①); partial units are staged to
 // SLC (②); staged partials that now complete a unit are read back,
 // invalidated and programmed together with the new data (③). Alignment
 // tails (offsets beyond the superblock capacity) go to reserved SLC runs.
-func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte, cause obs.Cause) (release, done sim.Time, err error) {
+//
+// landed reports how many leading sectors of the run reached durable media
+// (normal blocks or SLC) before an error; callers restore payloads[landed:]
+// to the write buffer so acknowledged data survives the failure.
+func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte, cause obs.Cause) (release, done sim.Time, landed int64, err error) {
 	z, err := f.zones.Zone(zone)
 	if err != nil {
-		return at, at, err
+		return at, at, 0, err
 	}
 	off := startLBA - z.Start
 	n := int64(len(payloads))
@@ -164,12 +220,14 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte,
 
 	if f.zstate[zone].conv {
 		// Conventional zones are SLC-resident and page-mapped; in-place
-		// updates invalidate the previous staged copies.
+		// updates invalidate the previous staged copies. Staging is
+		// all-or-nothing, so a failure lands zero sectors.
 		release, done, err = f.stageConventional(at, zone, startLBA, payloads)
-		if err == nil {
-			f.record(obs.StageConvStage, cause, at, done, zone, startLBA, int64(len(payloads)))
+		if err != nil {
+			return at, at, 0, err
 		}
-		return release, done, err
+		f.record(obs.StageConvStage, cause, at, done, zone, startLBA, int64(len(payloads)))
+		return release, done, int64(len(payloads)), nil
 	}
 
 	for n > 0 {
@@ -177,10 +235,11 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte,
 			// Alignment tail: everything left goes to reserved SLC.
 			rel, d, err := f.stageTailSectors(at, zone, off, payloads)
 			if err != nil {
-				return at, at, err
+				return at, at, landed, err
 			}
 			f.stats.TailSectors += int64(len(payloads))
 			f.record(obs.StageTailStage, cause, at, d, zone, z.Start+off, int64(len(payloads)))
+			landed += int64(len(payloads))
 			if rel > release {
 				release = rel
 			}
@@ -203,7 +262,7 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte,
 
 		rel, d, err := f.writeHeadSegment(at, zone, off, seg, off+segLen == puEnd, cause)
 		if err != nil {
-			return at, at, err
+			return at, at, landed, err
 		}
 		if rel > release {
 			release = rel
@@ -211,11 +270,12 @@ func (f *FTL) flushRun(at sim.Time, zone int, startLBA int64, payloads [][]byte,
 		if d > done {
 			done = d
 		}
+		landed += segLen
 		payloads = payloads[segLen:]
 		off += segLen
 		n -= segLen
 	}
-	return release, done, nil
+	return release, done, landed, nil
 }
 
 // writeHeadSegment places one run confined to a single program unit.
@@ -314,7 +374,15 @@ func (f *FTL) programPU(at sim.Time, zone int, puStart int64, sectors [][]byte) 
 	}
 	release, done, err = f.arr.ProgramPU(at, addr.Chip, addr.Block, addr.Page-addr.Page%f.pagesPerPU, sectors)
 	if err != nil {
-		return at, at, err
+		if !errors.Is(err, nand.ErrProgramFail) {
+			return at, at, err
+		}
+		// Grown bad block: relocate the superblock's contents to a spare,
+		// retire the bad one, and retry the unit there (tentpole error path).
+		release, done, err = f.recoverPUProgram(at, zone, puStart, addr.Chip, sectors)
+		if err != nil {
+			return at, at, err
+		}
 	}
 	z, _ := f.zones.Zone(zone)
 	for i := int64(0); i < f.puSectors; i++ {
@@ -343,13 +411,13 @@ func (f *FTL) stageSectors(at sim.Time, zone int, off int64, seg [][]byte) (rele
 	if !f.staging.HasSpace(int64(len(ws))) {
 		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
 		if err != nil {
-			return at, at, fmt.Errorf("ftl: staging GC: %w", err)
+			return at, at, fmt.Errorf("ftl: staging GC: %w", f.stagingErr(err))
 		}
 		start = d
 	}
 	gidxs, release, done, err := f.staging.Append(start, ws)
 	if err != nil {
-		return at, at, err
+		return at, at, f.stagingErr(err)
 	}
 	if done < start {
 		done = start
@@ -380,13 +448,13 @@ func (f *FTL) stageConventional(at sim.Time, zone int, startLBA int64, payloads 
 	if !f.staging.HasSpace(int64(len(ws))) {
 		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
 		if err != nil {
-			return at, at, fmt.Errorf("ftl: staging GC: %w", err)
+			return at, at, fmt.Errorf("ftl: staging GC: %w", f.stagingErr(err))
 		}
 		start = d
 	}
 	gidxs, release, done, err := f.staging.Append(start, ws)
 	if err != nil {
-		return at, at, err
+		return at, at, f.stagingErr(err)
 	}
 	if done < start {
 		done = start
@@ -426,13 +494,13 @@ func (f *FTL) stageTailSectors(at sim.Time, zone int, off int64, seg [][]byte) (
 	if !f.staging.HasSpace(int64(len(ws))) {
 		d, err := f.staging.EnsureSpace(at, int64(len(ws)), relocator{f})
 		if err != nil {
-			return at, at, fmt.Errorf("ftl: staging GC: %w", err)
+			return at, at, fmt.Errorf("ftl: staging GC: %w", f.stagingErr(err))
 		}
 		start = d
 	}
 	gidxs, release, done, err := f.staging.Append(start, ws)
 	if err != nil {
-		return at, at, err
+		return at, at, f.stagingErr(err)
 	}
 	if done < start {
 		done = start

@@ -25,6 +25,9 @@ type DebugState struct {
 	Completions [][]Completion // per-queue completion queues, reap order
 	ZoneFree    []sim.Time     // per-zone write-lock horizon
 	MaxDone     sim.Time
+	// LostCompletions counts dispatched commands whose completions the
+	// controller lost track of — always zero unless an invariant broke.
+	LostCompletions int64
 }
 
 // DebugSnapshot copies the controller's queueing state for auditing.
@@ -32,10 +35,11 @@ func (c *Controller) DebugSnapshot() DebugState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := DebugState{
-		NextTag:     c.nextTag,
-		Outstanding: append([]int(nil), c.out...),
-		ZoneFree:    append([]sim.Time(nil), c.zoneFree...),
-		MaxDone:     c.maxDone,
+		NextTag:         c.nextTag,
+		Outstanding:     append([]int(nil), c.out...),
+		ZoneFree:        append([]sim.Time(nil), c.zoneFree...),
+		MaxDone:         c.maxDone,
+		LostCompletions: c.lostCompletions,
 	}
 	zoneCap := c.be.ZoneCapSectors()
 	for _, r := range c.pending {
@@ -113,6 +117,36 @@ func (c *Controller) DebugDuplicateCompletion(tag Tag) bool {
 		}
 	}
 	return false
+}
+
+// DebugDropCompletion removes the queued completion without reaping it —
+// the command's queue slot stays consumed, as if the controller lost the
+// completion. Test-only corruption hook; reports whether the tag was found.
+func (c *Controller) DebugDropCompletion(tag Tag) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for q := range c.cqs {
+		for i := range c.cqs[q] {
+			if c.cqs[q][i].Tag == tag {
+				cq := c.cqs[q]
+				copy(cq[i:], cq[i+1:])
+				cq[len(cq)-1] = Completion{}
+				c.cqs[q] = cq[:len(cq)-1]
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DebugLoseSyncCompletions arms the dispatcher to swallow the next n
+// completions bound for the internal sync queue, reproducing the
+// bookkeeping corruption execSync's lost-completion recovery guards
+// against. Test-only corruption hook.
+func (c *Controller) DebugLoseSyncCompletions(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.debugLoseSync = n
 }
 
 // DebugSetZoneFree rewrites one zone's write-lock horizon. Test-only

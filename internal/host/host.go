@@ -133,6 +133,11 @@ type Completion struct {
 	Data [][]byte
 	Err  error // the backend's error, if the command failed
 
+	// Status classifies Err as an NVMe-style status code (StatusOK when
+	// the command succeeded), so pollers can branch without unwrapping
+	// error chains.
+	Status Status
+
 	Submitted  sim.Time // when the command entered the submission queue
 	Dispatched sim.Time // when the arbiter handed it to the FTL
 	Done       sim.Time // when the simulated hardware completed it
@@ -278,7 +283,9 @@ type Controller struct {
 	zoneFree []sim.Time // per-zone write-lock horizon
 	maxDone  sim.Time   // latest completion the controller has produced
 
-	dispatched int64 // commands dispatched for the controller's lifetime
+	dispatched      int64 // commands dispatched for the controller's lifetime
+	lostCompletions int64 // completions the controller lost track of (invariant failures)
+	debugLoseSync   int   // test-only: sync completions to swallow at dispatch
 }
 
 // New builds a controller over the backend. Zero Config fields take the
@@ -548,6 +555,12 @@ func (c *Controller) dispatch(r *request, at sim.Time) {
 		})
 	}
 
+	if c.debugLoseSync > 0 && r.queue == c.syncQueue() {
+		// Corruption hook armed: swallow this sync completion so execSync's
+		// lost-completion recovery path runs (see DebugLoseSyncCompletions).
+		c.debugLoseSync--
+		return
+	}
 	cq := c.cqs[r.queue]
 	i := len(cq)
 	// Completions mostly arrive in (Done, Tag) order already; only fall back
@@ -561,7 +574,7 @@ func (c *Controller) dispatch(r *request, at sim.Time) {
 	copy(cq[i+1:], cq[i:])
 	cq[i] = Completion{
 		Tag: r.tag, Queue: r.queue, Op: r.req.Op,
-		Zone: zone, LBA: lba, N: n, Data: data, Err: err,
+		Zone: zone, LBA: lba, N: n, Data: data, Err: err, Status: StatusOf(err),
 		Submitted: r.submitted, Dispatched: at, Done: done,
 	}
 	c.cqs[r.queue] = cq
@@ -765,9 +778,31 @@ func (c *Controller) execSync(at sim.Time, req Request) (Completion, error) {
 		}
 		return comp, nil
 	}
-	// advance() dispatches every pending command, so the completion must
-	// be present; reaching here means controller state is corrupt.
-	panic(fmt.Sprintf("host: completion of tag %d vanished", tag))
+	// advance() dispatches every pending command, so the completion must be
+	// present; its absence means the controller's bookkeeping is corrupt.
+	// Synthesize an internal-error completion instead of panicking: the
+	// caller gets a typed error, the lost-completion counter records the
+	// invariant failure, and the host auditor (internal/check) reports it
+	// with the controller's state attached.
+	c.lostCompletions++
+	c.out[c.syncQueue()]--
+	c.unfin--
+	comp := Completion{
+		Tag: tag, Queue: c.syncQueue(), Op: req.Op, Zone: -1, LBA: -1,
+		Err:       fmt.Errorf("%w: tag %d (%v)", ErrLostCompletion, tag, req.Op),
+		Status:    StatusInternal,
+		Submitted: at, Dispatched: at, Done: at,
+	}
+	return comp, comp.Err
+}
+
+// LostCompletions returns how many dispatched commands' completions the
+// controller lost track of. Always zero unless an internal invariant broke;
+// the host auditor treats any nonzero value as a violation.
+func (c *Controller) LostCompletions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lostCompletions
 }
 
 // The synchronous wrappers below make the Controller a drop-in
@@ -848,6 +883,9 @@ func (c *Controller) FinishZone(at sim.Time, zone int) (sim.Time, error) {
 	}
 	return comp.Done, nil
 }
+
+// Recorder returns the backend's lifecycle recorder (nil when disabled).
+func (c *Controller) Recorder() *obs.Recorder { return c.be.Recorder() }
 
 // NumZones returns the backend's zone count.
 func (c *Controller) NumZones() int { return c.be.NumZones() }

@@ -55,6 +55,7 @@ type Array struct {
 	written  []bool         // per linear sector; programmed at least once since erase
 	counters Counters
 	obs      *obs.Recorder // nil when observation is off
+	faults   FaultInjector // nil = media never fails
 
 	// lastProgStart models each chip's cache register (cache-program
 	// pipeline): a data transfer for program n+1 may begin once program n
@@ -149,7 +150,23 @@ func (a *Array) transfer(ready sim.Time, chip int, n int64) sim.Time {
 // ReadPage senses one page and transfers xferBytes of it to the controller.
 // xferBytes may be less than the page size when only some sectors are
 // needed; the sense still costs the full tR. It returns the completion time.
+//
+// With a fault injector attached the sense may need extra read-retry rounds
+// (each a full tR), and may ultimately fail with ErrUncorrectable — the
+// returned time then covers the exhausted retries.
 func (a *Array) ReadPage(at sim.Time, chip, block, page int, xferBytes int64) (sim.Time, error) {
+	return a.readPage(at, chip, block, page, xferBytes, false)
+}
+
+// ReadPageReliable is ReadPage for the device's internal movement paths
+// (GC migration, combines, bad-block relocation): read-retry latency is
+// still charged, but the read always recovers the data — acknowledged host
+// data is never lost to a transient read fault inside the device.
+func (a *Array) ReadPageReliable(at sim.Time, chip, block, page int, xferBytes int64) (sim.Time, error) {
+	return a.readPage(at, chip, block, page, xferBytes, true)
+}
+
+func (a *Array) readPage(at sim.Time, chip, block, page int, xferBytes int64, reliable bool) (sim.Time, error) {
 	if err := a.checkAddr(chip, block); err != nil {
 		return at, err
 	}
@@ -159,8 +176,26 @@ func (a *Array) ReadPage(at sim.Time, chip, block, page int, xferBytes int64) (s
 	if xferBytes < 0 || xferBytes > a.geo.PageSize {
 		return at, fmt.Errorf("nand: transfer %d outside page of %d bytes", xferBytes, a.geo.PageSize)
 	}
-	lat := a.lat.For(a.geo.MediaOf(block))
+	media := a.geo.MediaOf(block)
+	lat := a.lat.For(media)
 	_, senseEnd := a.chips[chip].Reserve(at, lat.Read)
+	if a.faults != nil {
+		retries, unc := a.faults.ReadFault(media, chip, block, a.blocks[chip][block].eraseCount)
+		if retries > 0 {
+			retryStart := senseEnd
+			for r := 0; r < retries; r++ {
+				_, senseEnd = a.chips[chip].Reserve(senseEnd, lat.Read)
+			}
+			a.record(obs.StageNANDReadRetry, retryStart, senseEnd, chip, int64(retries))
+		}
+		if unc && !reliable {
+			// ECC gave up: no data is transferred; the time spent sensing
+			// and retrying is still charged to the chip.
+			a.counters.PageReads++
+			a.engine.Observe(senseEnd)
+			return senseEnd, fmt.Errorf("nand: read %d/%d page %d: %w", chip, block, page, ErrUncorrectable)
+		}
+	}
 	done := a.transfer(senseEnd, chip, xferBytes)
 	a.counters.PageReads++
 	a.counters.BytesRead += xferBytes
@@ -237,6 +272,13 @@ func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, sectors [][]b
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.ProgramUnit)
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
 	a.lastProgStart[chip] = progStart
+	if a.faults != nil && a.faults.ProgramFails(media, chip, block, bs.eraseCount) {
+		// Status FAIL after the full program time: nothing is stored and
+		// the write point does not advance; the caller must relocate.
+		a.engine.Observe(progEnd)
+		a.record(obs.StageNANDProgram, at, progEnd, chip, a.geo.ProgramUnit)
+		return xferEnd, progEnd, fmt.Errorf("nand: program %d/%d page %d: %w", chip, block, startPage, ErrProgramFail)
+	}
 
 	base := a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: startPage})
 	for i := 0; i < nsect; i++ {
@@ -288,6 +330,11 @@ func (a *Array) ProgramSLCSector(at sim.Time, chip, block, page, sector int, pay
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, units.Sector)
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
 	a.lastProgStart[chip] = progStart
+	if a.faults != nil && a.faults.ProgramFails(SLCMode, chip, block, bs.eraseCount) {
+		a.engine.Observe(progEnd)
+		a.record(obs.StageNANDProgram, at, progEnd, chip, units.Sector)
+		return xferEnd, progEnd, fmt.Errorf("nand: partial program %d/%d page %d: %w", chip, block, page, ErrProgramFail)
+	}
 
 	idx := int64(a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: page, Sector: sector}))
 	a.written[idx] = true
@@ -357,6 +404,11 @@ func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, sectors [][]b
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.PageSize)
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
 	a.lastProgStart[chip] = progStart
+	if a.faults != nil && a.faults.ProgramFails(SLCMode, chip, block, bs.eraseCount) {
+		a.engine.Observe(progEnd)
+		a.record(obs.StageNANDProgram, at, progEnd, chip, a.geo.PageSize)
+		return xferEnd, progEnd, fmt.Errorf("nand: page program %d/%d page %d: %w", chip, block, page, ErrProgramFail)
+	}
 
 	base := a.geo.PPAOf(Addr{Chip: chip, Block: block, Page: page})
 	for s := 0; s < spp; s++ {
@@ -378,6 +430,11 @@ func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, sectors [][]b
 }
 
 // Erase erases one per-chip block, clearing programmed state and payloads.
+//
+// With a fault injector attached the erase may fail: the full tBERS is
+// charged and the erase cycle still counts toward the block's wear (the
+// die attempted it), but the block's contents and write point are left
+// unchanged and ErrEraseFail is returned — the caller must retire the block.
 func (a *Array) Erase(at sim.Time, chip, block int) (sim.Time, error) {
 	if err := a.checkAddr(chip, block); err != nil {
 		return at, err
@@ -385,6 +442,13 @@ func (a *Array) Erase(at sim.Time, chip, block int) (sim.Time, error) {
 	lat := a.lat.For(a.geo.MediaOf(block))
 	_, end := a.chips[chip].Reserve(at, lat.Erase)
 	bs := &a.blocks[chip][block]
+	if a.faults != nil && a.faults.EraseFails(a.geo.MediaOf(block), chip, block, bs.eraseCount) {
+		bs.eraseCount++
+		a.counters.Erases++
+		a.engine.Observe(end)
+		a.record(obs.StageNANDErase, at, end, chip, 0)
+		return end, fmt.Errorf("nand: erase %d/%d: %w", chip, block, ErrEraseFail)
+	}
 	bs.nextSector = 0
 	bs.eraseCount++
 	spp := a.geo.SectorsPerPage()

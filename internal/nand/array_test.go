@@ -404,13 +404,26 @@ func TestDefaultLatenciesTable2(t *testing.T) {
 	}
 }
 
-func TestLatencyForPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unknown media")
-		}
-	}()
-	DefaultLatencies().For(Media(42))
+func TestLatencyUnknownMedia(t *testing.T) {
+	// An unknown media value must be a descriptive construction-time error,
+	// never an I/O-time panic.
+	if l := DefaultLatencies().For(Media(42)); l != (Latency{}) {
+		t.Errorf("For(unknown) = %+v, want zero Latency", l)
+	}
+	if _, err := DefaultLatencies().Entry(Media(42)); err == nil {
+		t.Error("Entry(unknown) succeeded, want descriptive error")
+	}
+	g := testGeometry()
+	g.NormalMedia = Media(42)
+	if err := DefaultLatencies().ValidateFor(g); err == nil {
+		t.Error("ValidateFor with unknown normal media succeeded, want error")
+	}
+	bad := DefaultLatencies()
+	bad.TLC.Program = 0
+	g = testGeometry()
+	if err := bad.ValidateFor(g); err == nil && g.NormalMedia == TLC {
+		t.Error("ValidateFor with zero TLC program latency succeeded, want error")
+	}
 }
 
 func TestUnthrottledChannel(t *testing.T) {

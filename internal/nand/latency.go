@@ -32,18 +32,48 @@ func DefaultLatencies() LatencyTable {
 	}
 }
 
-// For returns the latencies of a media type.
+// For returns the latencies of a media type. Media outside the table yield
+// the zero Latency; device construction rejects such configurations up
+// front (Entry/Validate), so I/O paths never observe it.
 func (t LatencyTable) For(m Media) Latency {
+	l, _ := t.Entry(m)
+	return l
+}
+
+// Entry returns the latency entry for m, with a descriptive error when the
+// table has no entry for it. Construction-time validation (conzone.Open,
+// NewArray) uses it so a bad media value is a config error, not an I/O-time
+// panic.
+func (t LatencyTable) Entry(m Media) (Latency, error) {
 	switch m {
 	case SLCMode:
-		return t.SLC
+		return t.SLC, nil
 	case TLC:
-		return t.TLC
+		return t.TLC, nil
 	case QLC:
-		return t.QLC
+		return t.QLC, nil
 	default:
-		panic(fmt.Sprintf("nand: no latency entry for %v", m))
+		return Latency{}, fmt.Errorf("nand: no latency entry for media %v; the table covers SLC, TLC and QLC", m)
 	}
+}
+
+// ValidateFor checks the table entries a geometry actually exercises — SLC
+// mode (staging and map regions always run in it) plus the configured
+// normal media — returning a descriptive error for a missing or
+// non-positive entry. conzone.Open calls it once so a bad table is a
+// configuration error instead of a failure at I/O time.
+func (t LatencyTable) ValidateFor(g Geometry) error {
+	for _, m := range [...]Media{SLCMode, g.NormalMedia} {
+		l, err := t.Entry(m)
+		if err != nil {
+			return err
+		}
+		if l.Read <= 0 || l.Program <= 0 || l.Erase <= 0 {
+			return fmt.Errorf("nand: %v latencies must be positive, got read %v program %v erase %v",
+				m, l.Read, l.Program, l.Erase)
+		}
+	}
+	return nil
 }
 
 // Validate rejects non-positive latencies, which would break the

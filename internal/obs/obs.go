@@ -75,6 +75,13 @@ const (
 	// (zone write-lock waits and virtual-time ordering). Actor is the
 	// submission queue, N the command's sectors.
 	StageHostQueue
+	// StageNANDReadRetry spans the extra ECC read-retry sense rounds of one
+	// faulty page read; Actor is the chip, N the retry rounds.
+	StageNANDReadRetry
+	// StageFaultRelocate spans a bad-block recovery: re-programming a
+	// failed superblock's data into a spare and retiring the old blocks.
+	// Actor is the retired superblock, N the sectors copied.
+	StageFaultRelocate
 
 	// NumStages bounds the per-stage aggregation arrays.
 	NumStages
@@ -100,6 +107,8 @@ var stageNames = [NumStages]string{
 	StageNANDProgram:    "nand_program",
 	StageNANDErase:      "nand_erase",
 	StageHostQueue:      "host_queue",
+	StageNANDReadRetry:  "nand_read_retry",
+	StageFaultRelocate:  "fault_relocate",
 }
 
 // String returns the stage's stable snake_case name, used as the metric

@@ -40,6 +40,7 @@ type Stats struct {
 	Invalidated int64
 	Collections int64 // GC cycles completed
 	Erased      int64 // superblocks erased
+	Retired     int64 // superblocks retired after program/erase failures
 }
 
 // Delta returns the counter changes from prev to s (interval reporting).
@@ -50,6 +51,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		Invalidated: s.Invalidated - prev.Invalidated,
 		Collections: s.Collections - prev.Collections,
 		Erased:      s.Erased - prev.Erased,
+		Retired:     s.Retired - prev.Retired,
 	}
 }
 
@@ -58,6 +60,11 @@ type superblock struct {
 	valid      []bool
 	lpa        []int64
 	inFree     bool
+
+	// retired freezes the superblock out of service after a program or
+	// erase failure: it is never written, collected or freed again, but any
+	// live sectors it holds stay readable until they go stale.
+	retired bool
 }
 
 // Region is the SLC staging area allocator and validity tracker.
@@ -68,10 +75,11 @@ type Region struct {
 	chips  int
 	spp    int // sectors per page
 
-	sbs  []superblock
-	free []int // free superblock ids, FIFO
-	cur  int   // currently written superblock id, -1 when unbound
-	pos  int64 // next linear sector inside cur
+	sbs          []superblock
+	free         []int // free superblock ids, FIFO
+	cur          int   // currently written superblock id, -1 when unbound
+	pos          int64 // next linear sector inside cur
+	retiredCount int   // superblocks frozen out of service
 
 	stats Stats
 	obs   *obs.Recorder // nil when observation is off
@@ -252,6 +260,34 @@ func (r *Region) IsFree(sb int) bool {
 	return r.sbs[sb].inFree
 }
 
+// IsRetired reports whether superblock sb was retired after a failure.
+func (r *Region) IsRetired(sb int) bool {
+	if sb < 0 || sb >= len(r.sbs) {
+		return false
+	}
+	return r.sbs[sb].retired
+}
+
+// RetiredSuperblocks returns how many superblocks have been retired.
+func (r *Region) RetiredSuperblocks() int { return r.retiredCount }
+
+// UsableSuperblocks returns the superblocks still in service. Once it drops
+// below two the region can no longer guarantee GC progress, and the FTL
+// degrades the device to read-only.
+func (r *Region) UsableSuperblocks() int { return len(r.sbs) - r.retiredCount }
+
+// retire freezes superblock sb out of service after a media failure. Live
+// sectors stay readable; the superblock never returns to the free list.
+func (r *Region) retire(sb int) {
+	r.sbs[sb].retired = true
+	if r.cur == sb {
+		r.cur = -1
+		r.pos = 0
+	}
+	r.retiredCount++
+	r.stats.Retired++
+}
+
 // WritePoint returns the open superblock id (-1 when unbound) and the next
 // linear sector position inside it.
 func (r *Region) WritePoint() (sb int, pos int64) { return r.cur, r.pos }
@@ -310,6 +346,10 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 	for i := 0; i < len(ws); {
 		if r.cur < 0 || r.pos == r.sbCap {
 			if err := r.bind(); err != nil {
+				// Mid-append exhaustion (a retirement below consumed the
+				// pre-checked space): un-stage what this call appended — the
+				// caller never learns those indices — and report no space.
+				r.rollback(idxs)
 				return nil, at, at, err
 			}
 		}
@@ -336,6 +376,15 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 			took = 1
 		}
 		if err != nil {
+			if errors.Is(err, nand.ErrProgramFail) {
+				// The open superblock grew a bad page. Retire it — sectors
+				// already programmed stay readable in the frozen block —
+				// and retry the same data on a fresh superblock; running
+				// out of superblocks surfaces through bind() above.
+				r.retire(r.cur)
+				continue
+			}
+			r.rollback(idxs)
 			return nil, at, at, fmt.Errorf("slc: program at %+v: %w", addr, err)
 		}
 		if rel > release {
@@ -358,6 +407,21 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 	r.stats.Staged += int64(len(ws))
 	r.idxScratch = idxs
 	return idxs, release, done, nil
+}
+
+// rollback un-stages the sectors a failed append already placed: their
+// indices never reached the caller's mapping, so leaving them valid would
+// leak validity accounting.
+func (r *Region) rollback(idxs []int64) {
+	for _, idx := range idxs {
+		sb, pos, err := r.locate(idx)
+		if err != nil || !r.sbs[sb].valid[pos] {
+			continue
+		}
+		r.sbs[sb].valid[pos] = false
+		r.sbs[sb].validCount--
+	}
+	r.idxScratch = idxs[:0]
 }
 
 // Invalidate marks a staged sector dead (combined into the normal area, or
@@ -426,6 +490,11 @@ func (r *Region) Payload(idx int64) []byte {
 // ReadSectors charges the flash reads needed to fetch the given staged
 // sectors: one SLC page sense per distinct page plus the transfer of the
 // requested sectors. It returns the completion time of the slowest read.
+//
+// All its callers are internal movement paths (GC migration, combines), so
+// it uses the reliable read variant: fault-model read retries still cost
+// their tR rounds, but the data always comes back — device-internal copies
+// never lose acknowledged writes.
 func (r *Region) ReadSectors(at sim.Time, idxs []int64) (sim.Time, error) {
 	// Batch per distinct page in first-touch order (deterministic replay).
 	// A scratch slice with a linear scan replaces the old map+order pair:
@@ -457,7 +526,7 @@ func (r *Region) ReadSectors(at sim.Time, idxs []int64) (sim.Time, error) {
 	r.runScratch = runs
 	done := at
 	for i := range runs {
-		end, err := r.arr.ReadPage(at, runs[i].chip, runs[i].block, runs[i].page, runs[i].bytes)
+		end, err := r.arr.ReadPageReliable(at, runs[i].chip, runs[i].block, runs[i].page, runs[i].bytes)
 		if err != nil {
 			return at, err
 		}
@@ -468,13 +537,13 @@ func (r *Region) ReadSectors(at sim.Time, idxs []int64) (sim.Time, error) {
 	return done, nil
 }
 
-// Victim returns the id of the best GC victim: the non-free, non-current
-// superblock with the fewest valid sectors that has been written. Returns
-// -1 when no victim exists.
+// Victim returns the id of the best GC victim: the non-free, non-current,
+// non-retired superblock with the fewest valid sectors that has been
+// written. Returns -1 when no victim exists.
 func (r *Region) Victim() int {
 	best, bestValid := -1, int(r.sbCap)+1
 	for i := range r.sbs {
-		if r.sbs[i].inFree || i == r.cur {
+		if r.sbs[i].inFree || r.sbs[i].retired || i == r.cur {
 			continue
 		}
 		if r.sbs[i].validCount < bestValid {
@@ -503,6 +572,9 @@ func (r *Region) Collect(at sim.Time, victim int, rel Relocator) (sim.Time, erro
 	}
 	if r.sbs[victim].inFree {
 		return at, fmt.Errorf("slc: victim %d is already free", victim)
+	}
+	if r.sbs[victim].retired {
+		return at, fmt.Errorf("slc: victim %d is retired", victim)
 	}
 	sb := &r.sbs[victim]
 	done := at
@@ -562,6 +634,23 @@ func (r *Region) Collect(at sim.Time, victim int, rel Relocator) (sim.Time, erro
 	for chip := 0; chip < r.chips; chip++ {
 		end, err := r.arr.Erase(eraseStart, chip, r.blocks[victim])
 		if err != nil {
+			if errors.Is(err, nand.ErrEraseFail) {
+				// The block wore out mid-erase: retire the whole superblock
+				// instead of freeing it. Its live data was already migrated
+				// above, so nothing is lost — the region just shrinks.
+				if end > done {
+					done = end
+				}
+				r.retire(victim)
+				r.stats.Collections++
+				if r.obs != nil {
+					r.obs.Record(obs.Event{
+						Stage: obs.StageGCCollect, Begin: at, End: done,
+						Zone: -1, Actor: int32(victim), LBA: -1, N: int64(len(moves)),
+					})
+				}
+				return done, nil
+			}
 			return at, err
 		}
 		if end > done {
@@ -626,9 +715,15 @@ func (r *Region) CheckInvariants() error {
 		if r.sbs[i].inFree && n != 0 {
 			return fmt.Errorf("slc: free sb %d has %d valid sectors", i, n)
 		}
+		if r.sbs[i].inFree && r.sbs[i].retired {
+			return fmt.Errorf("slc: retired sb %d is on the free list", i)
+		}
 	}
 	if r.cur >= 0 && r.sbs[r.cur].inFree {
 		return fmt.Errorf("slc: current sb %d is on the free list", r.cur)
+	}
+	if r.cur >= 0 && r.sbs[r.cur].retired {
+		return fmt.Errorf("slc: current sb %d is retired", r.cur)
 	}
 	return nil
 }

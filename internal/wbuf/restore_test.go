@@ -1,0 +1,154 @@
+package wbuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRestoreEmptyBuffer returns a fully failed flush to its (now empty)
+// buffer: the run must be buffered again, byte-identical and readable.
+func TestRestoreEmptyBuffer(t *testing.T) {
+	m, _ := New(2, 4)
+	if _, err := m.Append(0, 100, [][]byte{sector(1), sector(2)}); err != nil {
+		t.Fatal(err)
+	}
+	fl := m.Take(0)
+	if fl == nil {
+		t.Fatal("nothing to take")
+	}
+	if err := m.Restore(fl.Zone, fl.StartLBA, fl.Payloads); err != nil {
+		t.Fatal(err)
+	}
+	start, n := m.Buffered(0)
+	if start != 100 || n != 2 {
+		t.Fatalf("Buffered = %d, %d after restore, want 100, 2", start, n)
+	}
+	for i, want := range []byte{1, 2} {
+		p, ok := m.ReadSector(0, 100+int64(i))
+		if !ok || !bytes.Equal(p, sector(want)) {
+			t.Fatalf("sector %d lost in restore", 100+i)
+		}
+	}
+	if m.Stats().Restored != 2 {
+		t.Fatalf("Restored = %d, want 2", m.Stats().Restored)
+	}
+}
+
+// TestRestorePrepend models a partially landed flush: the buffer kept the
+// run's tail, and the un-landed suffix of the failed flush must slot back in
+// front of it, in order.
+func TestRestorePrepend(t *testing.T) {
+	m, _ := New(2, 4)
+	// Six sectors: four drain as a full flush, two stay buffered.
+	flushes, err := m.Append(0, 100, [][]byte{
+		sector(1), sector(2), sector(3), sector(4), sector(5), sector(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushes) != 1 || flushes[0].Sectors() != 4 {
+		t.Fatalf("want one 4-sector flush, got %v", flushes)
+	}
+	// The flush landed sectors 100-101 and failed; 102-103 go back.
+	if err := m.Restore(0, 102, flushes[0].Payloads[2:]); err != nil {
+		t.Fatal(err)
+	}
+	start, n := m.Buffered(0)
+	if start != 102 || n != 4 {
+		t.Fatalf("Buffered = %d, %d after restore, want 102, 4", start, n)
+	}
+	for i, want := range []byte{3, 4, 5, 6} {
+		p, ok := m.ReadSector(0, 102+int64(i))
+		if !ok || !bytes.Equal(p, sector(want)) {
+			t.Fatalf("sector %d wrong after prepend restore", 102+i)
+		}
+	}
+}
+
+// TestRestoreContiguityRejected: a restore that neither precedes nor
+// continues the buffered run — or belongs to another zone — must be refused
+// rather than corrupt the run.
+func TestRestoreContiguityRejected(t *testing.T) {
+	m, _ := New(2, 4)
+	if _, err := m.Append(0, 100, [][]byte{sector(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(2, 50, [][]byte{sector(9)}); err == nil {
+		t.Fatal("restore of another zone into an occupied buffer accepted")
+	}
+	if err := m.Restore(0, 200, [][]byte{sector(9)}); err == nil {
+		t.Fatal("non-contiguous restore accepted")
+	}
+	if err := m.Restore(-1, 0, [][]byte{sector(9)}); err == nil {
+		t.Fatal("negative zone accepted")
+	}
+	// The continuation case is allowed: it extends the run.
+	if err := m.Restore(0, 101, [][]byte{sector(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if start, n := m.Buffered(0); start != 100 || n != 2 {
+		t.Fatalf("Buffered = %d, %d, want 100, 2", start, n)
+	}
+}
+
+// TestTrimFrom: rolling a failed write's un-acknowledged tail back out of
+// the buffer keeps the acknowledged prefix intact, and trimming the whole
+// run frees the buffer for another zone.
+func TestTrimFrom(t *testing.T) {
+	m, _ := New(2, 8)
+	if _, err := m.Append(0, 100, [][]byte{sector(1), sector(2), sector(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TrimFrom(0, 102); got != 1 {
+		t.Fatalf("TrimFrom dropped %d sectors, want 1", got)
+	}
+	if start, n := m.Buffered(0); start != 100 || n != 2 {
+		t.Fatalf("Buffered = %d, %d after trim, want 100, 2", start, n)
+	}
+	if p, ok := m.ReadSector(0, 101); !ok || !bytes.Equal(p, sector(2)) {
+		t.Fatal("kept prefix corrupted by trim")
+	}
+	// Trim points at/beyond the run end are no-ops.
+	if got := m.TrimFrom(0, 102); got != 0 {
+		t.Fatalf("no-op trim dropped %d sectors", got)
+	}
+	// Dropping the whole run empties the buffer for a fresh zone.
+	if got := m.TrimFrom(0, 99); got != 2 {
+		t.Fatalf("full trim dropped %d sectors, want 2", got)
+	}
+	if _, err := m.Append(2, 500, [][]byte{sector(9)}); err != nil {
+		t.Fatalf("buffer not freed after full trim: %v", err)
+	}
+	if m.Stats().Trimmed != 3 {
+		t.Fatalf("Trimmed = %d, want 3", m.Stats().Trimmed)
+	}
+}
+
+// TestRestoreOverCapacityDrainsWhole: restoring can leave a buffer above
+// capacity; the next append must drain the whole oversized run as one flush
+// instead of getting stuck at the == capacity trigger.
+func TestRestoreOverCapacityDrainsWhole(t *testing.T) {
+	m, _ := New(2, 4)
+	payloads := make([][]byte, 5)
+	for i := range payloads {
+		payloads[i] = sector(byte(i + 1))
+	}
+	if err := m.Restore(0, 100, payloads); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := m.Buffered(0); n != 5 {
+		t.Fatalf("buffered %d sectors, want 5 (above capacity)", n)
+	}
+	flushes, err := m.Append(0, 105, [][]byte{sector(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushes) != 1 || flushes[0].Sectors() != 6 || flushes[0].StartLBA != 100 {
+		t.Fatalf("oversized run did not drain whole: %v", flushes)
+	}
+	for i := int64(0); i < 6; i++ {
+		if !bytes.Equal(flushes[0].Payloads[i], sector(byte(i+1))) {
+			t.Fatalf("sector %d out of order in oversized drain", 100+i)
+		}
+	}
+}

@@ -75,6 +75,8 @@ type Stats struct {
 	FullDrain int64 // flushes because a buffer reached capacity
 	Evictions int64 // flushes because another zone claimed the buffer
 	TakeDrain int64 // explicit drains (sync/close/finish)
+	Restored  int64 // sectors returned to a buffer after a failed flush
+	Trimmed   int64 // unacknowledged sectors dropped after a failed write
 }
 
 // Delta returns the counter changes from prev to s (interval reporting).
@@ -84,6 +86,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		FullDrain: s.FullDrain - prev.FullDrain,
 		Evictions: s.Evictions - prev.Evictions,
 		TakeDrain: s.TakeDrain - prev.TakeDrain,
+		Restored:  s.Restored - prev.Restored,
+		Trimmed:   s.Trimmed - prev.Trimmed,
 	}
 }
 
@@ -236,7 +240,7 @@ func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, erro
 	for _, p := range payloads {
 		b.payloads = append(b.payloads, p)
 		m.stats.Appended++
-		if int64(len(b.payloads)) == m.cap {
+		if int64(len(b.payloads)) >= m.cap {
 			m.stats.FullDrain++
 			f := m.drain(i, ReasonFull)
 			out = append(out, f)
@@ -254,6 +258,77 @@ func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, erro
 		return nil, nil
 	}
 	return out, nil
+}
+
+// Restore returns a failed flush's un-landed sectors to the zone's buffer.
+// When the FTL cannot place a drained run on media (grown bad blocks,
+// staging exhaustion), the sectors were already acknowledged to the host and
+// must not vanish: restored, they stay readable through the buffer and a
+// later flush retries them. The restored run must start a fresh buffer,
+// immediately precede, or immediately continue the run currently buffered
+// for the same zone. Restoring may leave the buffer above its capacity; the
+// next drain empties the whole oversized run at once.
+//
+// Restore does not reclaim handed-out flushes: it is called while the failed
+// flush is still borrowed, and the payload references are copied into the
+// buffer's own container before any later mutator recycles the flush.
+func (m *Manager) Restore(zone int, startLBA int64, payloads [][]byte) error {
+	if zone < 0 {
+		return fmt.Errorf("wbuf: negative zone %d", zone)
+	}
+	if len(payloads) == 0 {
+		return nil
+	}
+	b := &m.bufs[m.BufferIndex(zone)]
+	n := int64(len(payloads))
+	switch {
+	case len(b.payloads) == 0:
+		b.zone = zone
+		b.startLBA = startLBA
+		b.payloads = append(b.payloads, payloads...)
+	case b.zone == zone && b.startLBA == startLBA+n:
+		// The restored run ends where the buffered run begins: prepend.
+		old := int64(len(b.payloads))
+		b.payloads = append(b.payloads, payloads...)
+		copy(b.payloads[n:], b.payloads[:old])
+		copy(b.payloads, payloads)
+		b.startLBA = startLBA
+	case b.zone == zone && startLBA == b.startLBA+int64(len(b.payloads)):
+		b.payloads = append(b.payloads, payloads...)
+	default:
+		return fmt.Errorf("wbuf: cannot restore zone %d run at %d: buffer %d holds zone %d at %d",
+			zone, startLBA, m.BufferIndex(zone), b.zone, b.startLBA)
+	}
+	m.stats.Restored += n
+	return nil
+}
+
+// TrimFrom discards the zone's buffered sectors at or beyond lba and
+// returns how many were dropped. The FTL uses it to roll a failed host
+// write back out of the buffer: unlike the acknowledged sectors Restore
+// protects, the failing request's own sectors were never acknowledged, so
+// dropping them loses nothing the host was promised.
+func (m *Manager) TrimFrom(zone int, lba int64) int64 {
+	start, n := m.Buffered(zone)
+	if n == 0 || lba >= start+n {
+		return 0
+	}
+	b := &m.bufs[m.BufferIndex(zone)]
+	keep := lba - start
+	if keep < 0 {
+		keep = 0
+	}
+	dropped := int64(len(b.payloads)) - keep
+	for i := keep; i < int64(len(b.payloads)); i++ {
+		b.payloads[i] = nil
+	}
+	b.payloads = b.payloads[:keep]
+	if keep == 0 {
+		b.zone = -1
+		b.startLBA = 0
+	}
+	m.stats.Trimmed += dropped
+	return dropped
 }
 
 // Take drains the zone's buffered data for an explicit flush (synchronous

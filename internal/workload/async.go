@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
+	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/host"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/stats"
@@ -77,7 +79,8 @@ func runAsync(dev Async, job Job) (Result, error) {
 	var nilPayloads [][]byte
 
 	lat := stats.NewHistogram()
-	var totalOps, totalBytes int64
+	var totalOps, totalBytes, ioErrors int64
+	var readOnly bool
 	end := job.StartAt
 
 	reapOldest := func(ti int) error {
@@ -89,13 +92,21 @@ func runAsync(dev Async, job Job) (Result, error) {
 		if !ok {
 			return fmt.Errorf("workload %s: completion of tag %d vanished", job.Name, op.tag)
 		}
-		if comp.Err != nil {
-			return fmt.Errorf("workload %s: %v lba %d: %w", job.Name, comp.Op, comp.LBA, comp.Err)
-		}
 		if comp.Data != nil && rec != nil {
 			rec.Recycle(comp.Data)
 		}
-		if op.bytes > 0 {
+		if comp.Err != nil {
+			if !job.ContinueOnError {
+				return fmt.Errorf("workload %s: %v lba %d: %w", job.Name, comp.Op, comp.LBA, comp.Err)
+			}
+			// The failed operation counts as an error, not as throughput.
+			// Read-only degradation stops submission; the windows still
+			// drain so every in-flight completion is accounted for.
+			ioErrors++
+			if errors.Is(comp.Err, fault.ErrReadOnly) {
+				readOnly = true
+			}
+		} else if op.bytes > 0 {
 			lat.Record(comp.Latency())
 			totalOps++
 			totalBytes += op.bytes
@@ -118,6 +129,15 @@ func runAsync(dev Async, job Job) (Result, error) {
 	}
 
 	for {
+		if readOnly {
+			// Stop submitting: every remaining write would fail the same
+			// way. Threads keep only their drain work.
+			for _, th := range threads {
+				if th.issued < job.TotalBytesPerJob {
+					th.issued = job.TotalBytesPerJob
+				}
+			}
+		}
 		// Pick the thread with the earliest clock that still has work:
 		// something to submit, or a window to drain.
 		ti := -1
@@ -199,10 +219,13 @@ func runAsync(dev Async, job Job) (Result, error) {
 		}
 	}
 
-	if job.FlushAtEnd && job.Pattern.IsWrite() {
+	if job.FlushAtEnd && job.Pattern.IsWrite() && !readOnly {
 		d, err := dev.FlushAll(end)
 		if err != nil {
-			return Result{}, err
+			if !job.ContinueOnError {
+				return Result{}, err
+			}
+			ioErrors++
 		}
 		if d > end {
 			end = d
@@ -216,6 +239,8 @@ func runAsync(dev Async, job Job) (Result, error) {
 		Bytes:          totalBytes,
 		Ops:            totalOps,
 		Elapsed:        elapsed,
+		IOErrors:       ioErrors,
+		ReadOnly:       readOnly,
 		BandwidthMiBps: units.BandwidthMiBps(totalBytes, elapsed),
 		IOPS:           units.IOPS(totalOps, elapsed),
 		Lat:            lat.Summarize(),

@@ -6,9 +6,11 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/stats"
 	"github.com/conzone/conzone/internal/units"
@@ -105,6 +107,15 @@ type Job struct {
 	// QueueDepth > 1.
 	Queues int
 
+	// ContinueOnError keeps the job running when an operation completes
+	// with an I/O error (fault-injection benchmarks): the failed operation
+	// counts in Result.IOErrors, is excluded from throughput and latency,
+	// and the thread moves on. A read-only degradation still ends the job
+	// early — every remaining write would fail the same way — but returns
+	// the partial result instead of an error. Without this flag the first
+	// error aborts the run.
+	ContinueOnError bool
+
 	WithData   bool // carry real payloads
 	FlushAtEnd bool
 	Seed       uint64
@@ -162,6 +173,13 @@ type Result struct {
 	Ops     int64
 	Elapsed time.Duration // virtual time from StartAt to the last completion
 
+	// IOErrors counts operations that completed with an error under
+	// Job.ContinueOnError; they are excluded from Bytes/Ops/Lat. ReadOnly
+	// reports that the job ended early because the device degraded to
+	// read-only.
+	IOErrors int64
+	ReadOnly bool
+
 	BandwidthMiBps float64
 	IOPS           float64
 	Lat            stats.Summary
@@ -172,8 +190,15 @@ func (r Result) KIOPS() float64 { return r.IOPS / 1000 }
 
 // String renders the result fio-style.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: jobs=%d bw=%.1fMiB/s iops=%.0f elapsed=%v lat{%v}",
+	s := fmt.Sprintf("%s: jobs=%d bw=%.1fMiB/s iops=%.0f elapsed=%v lat{%v}",
 		r.Job, r.Threads, r.BandwidthMiBps, r.IOPS, r.Elapsed.Round(time.Microsecond), r.Lat)
+	if r.IOErrors > 0 {
+		s += fmt.Sprintf(" ioerr=%d", r.IOErrors)
+	}
+	if r.ReadOnly {
+		s += " (device read-only)"
+	}
+	return s
 }
 
 type thread struct {
@@ -284,14 +309,27 @@ func Run(dev Device, job Job) (Result, error) {
 	}
 
 	lat := stats.NewHistogram()
-	var totalOps, totalBytes int64
+	var totalOps, totalBytes, ioErrors int64
+	var readOnly bool
 	var zdev Zoned
 	if z, ok := dev.(Zoned); ok {
 		zdev = z
 	}
 	zf, _ := dev.(ZoneFlusher)
 
-	for {
+	// failed decides what an operation error means for the job: abort
+	// (ContinueOnError unset), stop early (read-only degradation — every
+	// remaining write would fail identically), or count it and move on.
+	failed := func(err error) (stop bool) {
+		ioErrors++
+		if errors.Is(err, fault.ErrReadOnly) {
+			readOnly = true
+			return true
+		}
+		return false
+	}
+
+	for !readOnly {
 		// Pick the unfinished thread with the earliest clock.
 		ti := -1
 		for i, th := range threads {
@@ -308,11 +346,32 @@ func Run(dev Device, job Job) (Result, error) {
 		th := threads[ti]
 		submit := th.now
 
+		// The operation is charged to the thread whether it succeeds or is
+		// counted as an error: position, volume and clock always advance.
 		lba, opBytes, resetZone := th.next(&job, zdev)
+		finish := func(complete sim.Time, failedOp bool) {
+			next := complete
+			if h := submit.Add(job.PerOpOverhead); h > next {
+				next = h
+			}
+			th.now = next
+			th.issued += opBytes
+			th.doneAtSim = next
+			if !failedOp {
+				lat.Record(complete.Sub(submit))
+				totalOps++
+				totalBytes += opBytes
+			}
+		}
 		if resetZone >= 0 {
 			d, err := zdev.ResetZone(submit, resetZone)
 			if err != nil {
-				return Result{}, fmt.Errorf("workload %s: wrap reset zone %d: %w", job.Name, resetZone, err)
+				if !job.ContinueOnError {
+					return Result{}, fmt.Errorf("workload %s: wrap reset zone %d: %w", job.Name, resetZone, err)
+				}
+				failed(err)
+				finish(submit, true)
+				continue
 			}
 			if d > submit {
 				submit = d
@@ -331,13 +390,23 @@ func Run(dev Device, job Job) (Result, error) {
 			}
 			complete, err = dev.Write(submit, lba, payloads)
 			if err != nil {
-				return Result{}, fmt.Errorf("workload %s: write lba %d: %w", job.Name, lba, err)
+				if !job.ContinueOnError {
+					return Result{}, fmt.Errorf("workload %s: write lba %d: %w", job.Name, lba, err)
+				}
+				failed(err)
+				finish(submit, true)
+				continue
 			}
 			if job.SyncWrites && zf != nil && zdev != nil {
 				zone := int(lba / zdev.ZoneCapSectors())
 				complete2, err := zf.Flush(complete, zone)
 				if err != nil {
-					return Result{}, fmt.Errorf("workload %s: sync flush zone %d: %w", job.Name, zone, err)
+					if !job.ContinueOnError {
+						return Result{}, fmt.Errorf("workload %s: sync flush zone %d: %w", job.Name, zone, err)
+					}
+					failed(err)
+					finish(complete, true)
+					continue
 				}
 				if complete2 > complete {
 					complete = complete2
@@ -346,19 +415,15 @@ func Run(dev Device, job Job) (Result, error) {
 		} else {
 			_, complete, err = dev.Read(submit, lba, opBytes/units.Sector)
 			if err != nil {
-				return Result{}, fmt.Errorf("workload %s: read lba %d: %w", job.Name, lba, err)
+				if !job.ContinueOnError {
+					return Result{}, fmt.Errorf("workload %s: read lba %d: %w", job.Name, lba, err)
+				}
+				failed(err)
+				finish(submit, true)
+				continue
 			}
 		}
-		lat.Record(complete.Sub(submit))
-		next := complete
-		if h := submit.Add(job.PerOpOverhead); h > next {
-			next = h
-		}
-		th.now = next
-		th.issued += opBytes
-		th.doneAtSim = next
-		totalOps++
-		totalBytes += opBytes
+		finish(complete, false)
 	}
 
 	end := job.StartAt
@@ -367,10 +432,13 @@ func Run(dev Device, job Job) (Result, error) {
 			end = th.doneAtSim
 		}
 	}
-	if job.FlushAtEnd && job.Pattern.IsWrite() {
+	if job.FlushAtEnd && job.Pattern.IsWrite() && !readOnly {
 		d, err := dev.FlushAll(end)
 		if err != nil {
-			return Result{}, err
+			if !job.ContinueOnError {
+				return Result{}, err
+			}
+			failed(err)
 		}
 		if d > end {
 			end = d
@@ -384,6 +452,8 @@ func Run(dev Device, job Job) (Result, error) {
 		Bytes:          totalBytes,
 		Ops:            totalOps,
 		Elapsed:        elapsed,
+		IOErrors:       ioErrors,
+		ReadOnly:       readOnly,
 		BandwidthMiBps: units.BandwidthMiBps(totalBytes, elapsed),
 		IOPS:           units.IOPS(totalOps, elapsed),
 		Lat:            lat.Summarize(),
