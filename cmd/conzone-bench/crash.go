@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/conzone/conzone/internal/check"
+)
+
+// runCrash drives the crash-remount differential fuzzer from internal/check
+// as a command-line smoke test: each seed runs a generated op sequence
+// twice — once uninterrupted to learn its virtual duration, once with a
+// power cut armed at a seeded instant inside it — then remounts the crashed
+// device and verifies that everything a flush barrier acknowledged reads
+// back, the recovered state is audit-clean, and the device keeps working
+// for the rest of the sequence. Seeds alternate between a healthy device
+// and one with the NAND fault model layered under the power cut.
+func runCrash(baseSeed uint64, nSeeds, nOps int) error {
+	header(fmt.Sprintf("Crash-remount differential fuzz: %d seeds x %d ops", nSeeds, nOps))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "seed\tfaults\tcrashed\tresult\twall")
+	crashes, failures := 0, 0
+	for i := 0; i < nSeeds; i++ {
+		seed := baseSeed + uint64(i)
+		withFaults := i%2 == 1
+		start := time.Now()
+		crashed, err := check.RunCrashSequence(seed, nOps, 64, withFaults)
+		wall := time.Since(start).Round(time.Millisecond)
+		result := "ok"
+		if err != nil {
+			result = err.Error()
+			failures++
+		}
+		if crashed {
+			crashes++
+		}
+		fmt.Fprintf(w, "%#x\t%v\t%v\t%s\t%v\n", seed, withFaults, crashed, result, wall)
+	}
+	w.Flush()
+	fmt.Printf("\n%d/%d runs crashed and remounted, %d failed\n", crashes, nSeeds, failures)
+	if failures > 0 {
+		return fmt.Errorf("crash fuzz: %d of %d seeds failed", failures, nSeeds)
+	}
+	if crashes == 0 {
+		return fmt.Errorf("crash fuzz: no seed fired its power cut (stale parameters?)")
+	}
+	fmt.Println("durability contract held: acked-durable data survived every remount")
+	return nil
+}

@@ -7,6 +7,7 @@
 //	conzone-bench -metrics [-metrics-json tel.json] [-chrome trace.json]
 //	conzone-bench -qd 1,2,4,8,16 [-quick] [-metrics-json sweep.json]
 //	conzone-bench -faults [-fault-seed 7] [-quick]
+//	conzone-bench -crash [-crash-seeds 8] [-crash-ops 600] [-fault-seed 7] [-quick]
 //	conzone-bench -selfbench [-json BENCH_emulator.json]
 //
 // Any mode accepts -cpuprofile/-memprofile to write pprof profiles of the
@@ -39,6 +40,9 @@ func main() {
 	qd := flag.String("qd", "", "comma-separated queue depths to sweep through the async host interface (e.g. 1,2,4,8,16)")
 	faults := flag.Bool("faults", false, "benchmark with the NAND fault model enabled and report fault/recovery statistics")
 	faultSeed := flag.Uint64("fault-seed", 1, "with -faults: fault model RNG seed")
+	crash := flag.Bool("crash", false, "run the crash-remount differential fuzzer (power cut at a seeded instant, remount, verify durability)")
+	crashSeeds := flag.Int("crash-seeds", 8, "with -crash: how many seeds to run")
+	crashOps := flag.Int("crash-ops", 600, "with -crash: ops per generated sequence")
 	selfbench := flag.Bool("selfbench", false, "measure the emulator's own wall-clock throughput (ns per emulated I/O)")
 	jsonOut := flag.String("json", "", "with -selfbench: write the results to this file (e.g. BENCH_emulator.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -102,6 +106,16 @@ func main() {
 	}
 	if *faults {
 		if err := runFaults(cfg, *faultSeed, *quick); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *crash {
+		n := *crashOps
+		if *quick {
+			n = 200
+		}
+		if err := runCrash(*faultSeed, *crashSeeds, n); err != nil {
 			fatal(err)
 		}
 		return

@@ -6,6 +6,8 @@
 //	conzone-inspect                      # describe the paper configuration
 //	conzone-inspect -config my.json      # describe a saved configuration
 //	conzone-inspect -write-config my.json -preset qlc
+//	conzone-inspect -image dev.img        # recover a saved NAND image and
+//	                                      # print its zones, journal and wear
 package main
 
 import (
@@ -14,8 +16,10 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"github.com/conzone/conzone"
 	"github.com/conzone/conzone/internal/config"
 	"github.com/conzone/conzone/internal/fault"
+	"github.com/conzone/conzone/internal/nand"
 	"github.com/conzone/conzone/internal/units"
 )
 
@@ -24,6 +28,7 @@ func main() {
 	writeCfg := flag.String("write-config", "", "write a configuration template to this path and exit")
 	preset := flag.String("preset", "paper", "template preset: paper, small, qlc")
 	zones := flag.Bool("zones", false, "print the full zone report")
+	image := flag.String("image", "", "recover a NAND image saved with SaveImage and describe what survived")
 	flag.Parse()
 
 	cfg, err := pick(*preset)
@@ -42,6 +47,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	if *image != "" {
+		if err := inspectImage(cfg, *image); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	f, err := cfg.NewConZone()
@@ -102,6 +114,66 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// inspectImage recovers a file-backed NAND image exactly as a crashed
+// device's mount path would and reports the durable state that survived:
+// zone write pointers, the metadata journal, wear and the bad-block table.
+func inspectImage(cfg config.DeviceConfig, path string) error {
+	dev, err := conzone.OpenImage(cfg, path)
+	if err != nil {
+		return err
+	}
+	f := dev.FTL()
+	arr := f.Array()
+	fmt.Printf("Image %s: recovered cleanly\n\n", path)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	c := arr.Counters()
+	fmt.Fprintf(w, "media programs\t%d PU, %d SLC page, %d SLC partial, %d map\n",
+		c.PUPrograms, c.PageProgramsSLC, c.PartialPrograms, c.MapPrograms)
+	fmt.Fprintf(w, "media erases\t%d (total wear %d)\n", c.Erases, arr.TotalEraseCount())
+	fmt.Fprintf(w, "bytes programmed\t%s\n", units.FormatBytes(c.BytesProgrammed))
+	st := f.Stats()
+	fmt.Fprintf(w, "retired superblocks\t%d (spares left: %d)\n", st.RetiredSuperblocks, f.SpareSuperblocks())
+	fmt.Fprintf(w, "grown bad blocks\t%d\n", len(f.BadBlockTable()))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	written := 0
+	fmt.Println("\nRecovered zones (non-empty):")
+	zw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(zw, "zone\tstart LBA\twritten (sectors)\tstate")
+	for _, z := range f.Zones().Report() {
+		if z.Written() == 0 {
+			continue
+		}
+		written++
+		fmt.Fprintf(zw, "%d\t%d\t%d\t%v\n", z.ID, z.Start, z.Written(), z.State)
+	}
+	if err := zw.Flush(); err != nil {
+		return err
+	}
+	if written == 0 {
+		fmt.Println("  (none)")
+	}
+
+	j := arr.MetaJournal()
+	fmt.Printf("\nMetadata journal: %d records\n", len(j))
+	jw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for i, rec := range j {
+		switch rec.Kind {
+		case nand.MetaZoneReset:
+			fmt.Fprintf(jw, "%d\t%v\tzone %d\tseq %d\n", i, rec.Kind, rec.Zone, rec.Seq)
+		case nand.MetaRetireSB:
+			fmt.Fprintf(jw, "%d\t%v\tsuperblock %d\tchip %d block %d op %d\n",
+				i, rec.Kind, rec.SB, rec.Chip, rec.Block, rec.Op)
+		case nand.MetaSLCRetire:
+			fmt.Fprintf(jw, "%d\t%v\tstaging superblock %d\n", i, rec.Kind, rec.SB)
+		}
+	}
+	return jw.Flush()
 }
 
 func pick(preset string) (config.DeviceConfig, error) {

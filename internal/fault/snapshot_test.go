@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/conzone/conzone/internal/nand"
+)
+
+// decision is one recorded fault draw, for comparing streams.
+type decision struct {
+	pFail, eFail bool
+	retries      int
+	uncorrect    bool
+}
+
+func drawSequence(inj *Injector, n int) []decision {
+	out := make([]decision, n)
+	for k := 0; k < n; k++ {
+		chip, block := k%3, 8+k%5
+		out[k].pFail = inj.ProgramFails(nand.TLC, chip, block, int64(k))
+		out[k].eFail = inj.EraseFails(nand.TLC, chip, block, int64(k))
+		out[k].retries, out[k].uncorrect = inj.ReadFault(nand.TLC, chip, block, int64(k))
+	}
+	return out
+}
+
+// TestSnapshotRestoreResumesStream: an injector restored from a mid-run
+// snapshot produces exactly the decisions the original would have — RNG
+// stream, scripted cursors and counters all carry over. This is the
+// property crash recovery relies on: a run that crashes and remounts sees
+// the same fault sequence an uninterrupted run does.
+func TestSnapshotRestoreResumesStream(t *testing.T) {
+	cfg := Config{
+		Seed: 77,
+		TLC:  Probabilities{ProgramFail: 0.3, EraseFail: 0.2, ReadFail: 0.4},
+		Scripts: []Script{
+			{Chip: 1, Block: 9, Op: OpProgram, N: 5},
+			{Chip: 2, Block: 10, Op: OpErase, N: 2, Repeat: true},
+		},
+	}
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := drawSequence(full, 40)
+
+	crashed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drawSequence(crashed, 40); len(got) != len(pre) {
+		t.Fatal("draw count mismatch")
+	}
+	snap := crashed.Snapshot()
+	if snap.Stats != full.Snapshot().Stats {
+		t.Fatalf("identical prefixes diverged: %+v vs %+v", snap.Stats, full.Snapshot().Stats)
+	}
+
+	// "Remount": a fresh injector from the same config, snapshot restored.
+	remounted, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remounted.Restore(snap)
+	wantTail := drawSequence(full, 60)
+	gotTail := drawSequence(remounted, 60)
+	for k := range wantTail {
+		if gotTail[k] != wantTail[k] {
+			t.Fatalf("decision %d diverged after restore: got %+v, want %+v", k, gotTail[k], wantTail[k])
+		}
+	}
+	if remounted.Stats() != full.Stats() {
+		t.Fatalf("stats diverged after restore: %+v vs %+v", remounted.Stats(), full.Stats())
+	}
+}
+
+// TestSnapshotScriptedCursorCarries: a scripted "fail the Nth program on
+// block B" must fire at the same global occurrence whether or not a
+// snapshot/restore cycle happened between draws.
+func TestSnapshotScriptedCursorCarries(t *testing.T) {
+	cfg := Config{Scripts: []Script{{Chip: 0, Block: 4, Op: OpProgram, N: 3}}}
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.ProgramFails(nand.TLC, 0, 4, 0) {
+		t.Fatal("occurrence 1 failed, script says 3rd")
+	}
+	if inj.ProgramFails(nand.TLC, 0, 4, 0) {
+		t.Fatal("occurrence 2 failed, script says 3rd")
+	}
+	snap := inj.Snapshot()
+
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Restore(snap)
+	if !fresh.ProgramFails(nand.TLC, 0, 4, 0) {
+		t.Fatal("occurrence 3 after restore did not fail: cursor lost")
+	}
+	if fresh.ProgramFails(nand.TLC, 0, 4, 0) {
+		t.Fatal("occurrence 4 failed: one-shot script repeated")
+	}
+	if fresh.Stats().ProgramFails != 1 {
+		t.Fatalf("ProgramFails = %d, want 1", fresh.Stats().ProgramFails)
+	}
+
+	// Cursors for addresses the config does not script are dropped.
+	snap.Cursors = append(snap.Cursors, CursorState{Chip: 9, Block: 9, Op: OpErase, Count: 7})
+	again, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Restore(snap)
+	if !again.ProgramFails(nand.TLC, 0, 4, 0) {
+		t.Fatal("stray cursor in snapshot broke scripted replay")
+	}
+}

@@ -61,6 +61,9 @@ func (f *FTL) retireSB(sb int, bb BadBlock) {
 	f.retiredSBs = append(f.retiredSBs, sb)
 	f.badBlocks = append(f.badBlocks, bb)
 	f.stats.RetiredSuperblocks++
+	// Journal the retirement so a remount rebuilds the bad-block table and
+	// keeps the superblock out of the scan and the free pool.
+	f.arr.MetaAppend(nand.MetaRecord{Kind: nand.MetaRetireSB, SB: sb, Chip: bb.Chip, Block: bb.Block, Op: int(bb.Op)})
 }
 
 // recoverPUProgram handles a program failure in the zone's bound superblock:
@@ -176,6 +179,12 @@ func (f *FTL) copySB(at sim.Time, srcBlock, dstBlock int) (done sim.Time, copied
 					return done, copied, chip, true, nil
 				}
 				return at, 0, 0, false, perr
+			}
+			// The relocated copies keep their original OOB stamps: same
+			// logical addresses, same positions in global program order.
+			dstBase := f.geo.PPAOf(nand.Addr{Chip: chip, Block: dstBlock, Page: page0})
+			for k := 0; k < nsect; k++ {
+				f.arr.CopyOOB(dstBase+nand.PPA(k), base+nand.PPA(k))
 			}
 			t = d
 			copied += int64(nsect)

@@ -16,6 +16,9 @@ import (
 // every entry of the zone. No valid-page migration happens — the host owns
 // validity in the normal region.
 func (f *FTL) ResetZone(at sim.Time, zone int) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
 	if err := f.checkWritable(); err != nil {
 		return at, err
 	}
@@ -83,6 +86,12 @@ func (f *FTL) ResetZone(at sim.Time, zone int) (sim.Time, error) {
 	f.cache.InvalidateRange(z.Start, f.zoneCap)
 
 	f.stats.ZoneResets++
+	// Journal the completed reset with a fresh sequence number: staged SLC
+	// copies stamped before this instant belong to the zone's previous life
+	// and must not resurrect at recovery. The record lands only after every
+	// erase did, so a torn reset leaves no record and recovery treats the
+	// zone's survivors as pre-reset data.
+	f.arr.MetaAppend(nand.MetaRecord{Kind: nand.MetaZoneReset, Zone: zone, Seq: f.arr.NextSeq()})
 	// A reset logs one "zone invalidated" record; the per-sector
 	// invalidations are implied by it.
 	f.noteMapUpdates(1)

@@ -32,6 +32,9 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 // return. It is the allocation-free path the host interface uses for
 // steady-state reads.
 func (f *FTL) ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
 	zone, err := f.zones.ValidateRead(lba, n)
 	if err != nil {
 		return at, err

@@ -19,6 +19,9 @@ import (
 // flush of that buffer and may trigger premature flushes of a conflicting
 // zone's data.
 func (f *FTL) Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
 	if err := f.checkWritable(); err != nil {
 		return at, err
 	}
@@ -147,6 +150,9 @@ func (f *FTL) ZoneOf(lba int64) int { return f.zones.ZoneOf(lba) }
 // Flush forces the zone's buffered data to media (synchronous flush /
 // cache flush command). Partial programming-unit tails detour through SLC.
 func (f *FTL) Flush(at sim.Time, zone int) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
 	if zone < 0 || zone >= f.numZones {
 		return at, fmt.Errorf("ftl: flush of invalid zone %d", zone)
 	}
@@ -171,6 +177,9 @@ func (f *FTL) Flush(at sim.Time, zone int) (sim.Time, error) {
 
 // FlushAll drains every buffer (device cache flush).
 func (f *FTL) FlushAll(at sim.Time) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
 	done := at
 	for zone := 0; zone < f.numZones; zone++ {
 		d, err := f.Flush(at, zone)
@@ -383,8 +392,19 @@ func (f *FTL) programPU(at sim.Time, zone int, puStart int64, sectors [][]byte) 
 		if err != nil {
 			return at, at, err
 		}
+		// The relocation re-bound the zone; the unit landed on the spare.
+		addr, err = f.headLoc(zone, puStart)
+		if err != nil {
+			return at, at, err
+		}
 	}
 	z, _ := f.zones.Zone(zone)
+	// OOB stamps for recovery: every sector of the landed unit records its
+	// logical address and position in global program order.
+	stampBase := f.geo.PPAOf(nand.Addr{Chip: addr.Chip, Block: addr.Block, Page: addr.Page - addr.Page%f.pagesPerPU})
+	for i := int64(0); i < f.puSectors; i++ {
+		f.arr.StampOOB(stampBase+nand.PPA(i), z.Start+puStart+i)
+	}
 	for i := int64(0); i < f.puSectors; i++ {
 		lpa := z.Start + puStart + i
 		if err := f.table.Set(lpa, mapping.PSN(int64(zone)*f.zoneCap+puStart+i)); err != nil {

@@ -313,6 +313,10 @@ func New(be Backend, cfg Config) (*Controller, error) {
 // Queues returns the number of I/O submission queues.
 func (c *Controller) Queues() int { return c.cfg.Queues }
 
+// Configuration returns the queue layout in effect (defaults resolved), so
+// a remount can rebuild an equivalent controller.
+func (c *Controller) Configuration() Config { return c.cfg }
+
 // Depth returns the per-queue outstanding-command limit.
 func (c *Controller) Depth() int { return c.cfg.Depth }
 

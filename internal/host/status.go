@@ -6,6 +6,7 @@ import (
 
 	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/power"
 )
 
 // Status is the NVMe-style completion status code carried alongside the
@@ -33,6 +34,9 @@ const (
 	// emulator invariant failure surfaced as a completion instead of a
 	// panic so the invariant auditor can report it.
 	StatusInternal
+	// StatusPowerLoss: the device lost power before the command could
+	// complete. Volatile state is gone; the device needs a remount.
+	StatusPowerLoss
 )
 
 // String names the status.
@@ -50,6 +54,8 @@ func (s Status) String() string {
 		return "read_only"
 	case StatusInternal:
 		return "internal"
+	case StatusPowerLoss:
+		return "power_loss"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -68,6 +74,8 @@ func StatusOf(err error) Status {
 		return StatusOK
 	case errors.Is(err, ErrLostCompletion):
 		return StatusInternal
+	case errors.Is(err, power.ErrPowerLoss):
+		return StatusPowerLoss
 	case errors.Is(err, fault.ErrReadOnly):
 		return StatusReadOnly
 	case errors.Is(err, nand.ErrUncorrectable):

@@ -63,6 +63,21 @@ type Array struct {
 	// started. This bounds the program pipeline at one in-flight transfer
 	// per chip without serialising transfers behind tPROG.
 	lastProgStart []sim.Time
+
+	// Power-loss model (see power.go): when armed, the first operation
+	// completing past cutAt is torn and the array dies.
+	cutArmed bool
+	cutAt    sim.Time
+	dead     bool
+
+	// Per-sector OOB metadata and the global program sequence counter
+	// (see power.go). oobLPA is -1 for never-stamped sectors.
+	oobLPA []int64
+	oobSeq []int64
+	seq    int64
+
+	// Durable metadata journal: resets and retirements (see power.go).
+	journal []MetaRecord
 }
 
 // NewArray builds an array for a validated geometry and latency table.
@@ -91,6 +106,11 @@ func NewArray(geo Geometry, lat LatencyTable, engine *sim.Engine) (*Array, error
 	a.payload = make([][]byte, n)
 	a.written = make([]bool, n)
 	a.lastProgStart = make([]sim.Time, geo.Chips())
+	a.oobLPA = make([]int64, n)
+	for i := range a.oobLPA {
+		a.oobLPA[i] = -1
+	}
+	a.oobSeq = make([]int64, n)
 	return a, nil
 }
 
@@ -179,6 +199,9 @@ func (a *Array) readPage(at sim.Time, chip, block, page int, xferBytes int64, re
 	media := a.geo.MediaOf(block)
 	lat := a.lat.For(media)
 	_, senseEnd := a.chips[chip].Reserve(at, lat.Read)
+	if err := a.gate(senseEnd); err != nil {
+		return senseEnd, err
+	}
 	if a.faults != nil {
 		retries, unc := a.faults.ReadFault(media, chip, block, a.blocks[chip][block].eraseCount)
 		if retries > 0 {
@@ -215,6 +238,9 @@ func (a *Array) ChargeMapRead(at sim.Time, chip int) (sim.Time, error) {
 	}
 	lat := a.lat.For(SLCMode)
 	_, senseEnd := a.chips[chip].Reserve(at, lat.Read)
+	if err := a.gate(senseEnd); err != nil {
+		return senseEnd, err
+	}
 	done := a.transfer(senseEnd, chip, units.Sector)
 	a.counters.PageReads++
 	a.counters.BytesRead += units.Sector
@@ -271,6 +297,11 @@ func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, sectors [][]b
 	// it frees when the previous program starts.
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.ProgramUnit)
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	if err := a.gate(progEnd); err != nil {
+		// Torn multi-plane program: the cut struck mid-tPROG, so the whole
+		// wordline stays unprogrammed and the write point does not move.
+		return xferEnd, progEnd, err
+	}
 	a.lastProgStart[chip] = progStart
 	if a.faults != nil && a.faults.ProgramFails(media, chip, block, bs.eraseCount) {
 		// Status FAIL after the full program time: nothing is stored and
@@ -329,6 +360,9 @@ func (a *Array) ProgramSLCSector(at sim.Time, chip, block, page, sector int, pay
 	lat := a.lat.For(SLCMode)
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, units.Sector)
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	if err := a.gate(progEnd); err != nil {
+		return xferEnd, progEnd, err
+	}
 	a.lastProgStart[chip] = progStart
 	if a.faults != nil && a.faults.ProgramFails(SLCMode, chip, block, bs.eraseCount) {
 		a.engine.Observe(progEnd)
@@ -361,6 +395,9 @@ func (a *Array) ChargeMapProgram(at sim.Time, chip int) (sim.Time, error) {
 	lat := a.lat.For(SLCMode)
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.PageSize)
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	if err := a.gate(progEnd); err != nil {
+		return progEnd, err
+	}
 	a.lastProgStart[chip] = progStart
 	a.counters.MapPrograms++
 	a.counters.BytesProgrammed += a.geo.PageSize
@@ -403,6 +440,9 @@ func (a *Array) ProgramSLCPage(at sim.Time, chip, block, page int, sectors [][]b
 	lat := a.lat.For(SLCMode)
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.PageSize)
 	progStart, progEnd := a.chips[chip].Reserve(xferEnd, lat.Program)
+	if err := a.gate(progEnd); err != nil {
+		return xferEnd, progEnd, err
+	}
 	a.lastProgStart[chip] = progStart
 	if a.faults != nil && a.faults.ProgramFails(SLCMode, chip, block, bs.eraseCount) {
 		a.engine.Observe(progEnd)
@@ -441,6 +481,11 @@ func (a *Array) Erase(at sim.Time, chip, block int) (sim.Time, error) {
 	}
 	lat := a.lat.For(a.geo.MediaOf(block))
 	_, end := a.chips[chip].Reserve(at, lat.Erase)
+	if err := a.gate(end); err != nil {
+		// Torn erase: the block keeps its pre-erase contents and write
+		// point; no wear is counted for the interrupted cycle.
+		return end, err
+	}
 	bs := &a.blocks[chip][block]
 	if a.faults != nil && a.faults.EraseFails(a.geo.MediaOf(block), chip, block, bs.eraseCount) {
 		bs.eraseCount++
@@ -457,6 +502,8 @@ func (a *Array) Erase(at sim.Time, chip, block int) (sim.Time, error) {
 	for i := int64(0); i < n; i++ {
 		a.dropPayload(base + i)
 		a.written[base+i] = false
+		a.oobLPA[base+i] = -1
+		a.oobSeq[base+i] = 0
 	}
 	a.counters.Erases++
 	a.engine.Observe(end)

@@ -1,0 +1,55 @@
+// Package power models sudden power loss for the emulator. A power cut is
+// armed at a virtual-time instant T: the first media operation whose
+// completion would extend past T is torn — it leaves no trace on the media
+// — and every operation after it fails immediately, because the device is
+// dead. Since the emulator issues media operations synchronously in program
+// order, the surviving media state is always a program-order prefix of the
+// operations the firmware issued, which is exactly the guarantee a real
+// device's program-completion ordering gives recovery code.
+//
+// The package itself is a leaf: it holds the sentinel error the NAND layer
+// raises once the cut strikes, and a small seeded planner that picks cut
+// instants inside a workload window for crash-injection campaigns. The
+// mechanics of tearing (which operations survive) live in internal/nand;
+// recovery (rebuilding FTL state from the surviving media) lives in
+// internal/ftl.
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// ErrPowerLoss reports that the device lost power: the operation either
+// straddled the cut instant (and left no trace on media) or was issued
+// after the device died. Once raised, every subsequent media operation
+// fails with it until the device is remounted.
+var ErrPowerLoss = errors.New("power: device lost power")
+
+// Plan is a seeded schedule of cut instants inside a workload window, used
+// by crash-injection campaigns to sweep reproducible cut points. The zero
+// value is invalid; use NewPlan.
+type Plan struct {
+	rng *sim.Rand
+	lo  sim.Time
+	hi  sim.Time
+}
+
+// NewPlan returns a planner drawing cut instants uniformly from [lo, hi].
+// The window must be non-empty.
+func NewPlan(seed uint64, lo, hi sim.Time) (*Plan, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("power: empty cut window [%v, %v]", lo, hi)
+	}
+	return &Plan{rng: sim.NewRand(seed), lo: lo, hi: hi}, nil
+}
+
+// Next returns the next cut instant of the schedule.
+func (p *Plan) Next() sim.Time {
+	if p.hi == p.lo {
+		return p.lo
+	}
+	return p.lo + sim.Time(p.rng.Int63n(int64(p.hi-p.lo)+1))
+}

@@ -1,0 +1,54 @@
+package power
+
+import (
+	"testing"
+
+	"github.com/conzone/conzone/internal/sim"
+)
+
+func TestPlanDeterministicAndInRange(t *testing.T) {
+	lo, hi := sim.Time(10), sim.Time(1000)
+	a, err := NewPlan(42, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(42, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		ta, tb := a.Next(), b.Next()
+		if ta != tb {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", k, ta, tb)
+		}
+		if ta < lo || ta > hi {
+			t.Fatalf("draw %d: instant %v outside [%v, %v]", k, ta, lo, hi)
+		}
+	}
+	c, err := NewPlan(43, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k := 0; k < 10; k++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instants")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := NewPlan(1, 100, 10); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	p, err := NewPlan(1, 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Next(); got != 7 {
+		t.Fatalf("degenerate range drew %v, want 7", got)
+	}
+}

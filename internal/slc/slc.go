@@ -278,6 +278,8 @@ func (r *Region) UsableSuperblocks() int { return len(r.sbs) - r.retiredCount }
 
 // retire freezes superblock sb out of service after a media failure. Live
 // sectors stay readable; the superblock never returns to the free list.
+// The retirement is journaled so recovery can tell a frozen mid-append
+// extent apart from an open write point.
 func (r *Region) retire(sb int) {
 	r.sbs[sb].retired = true
 	if r.cur == sb {
@@ -286,6 +288,7 @@ func (r *Region) retire(sb int) {
 	}
 	r.retiredCount++
 	r.stats.Retired++
+	r.arr.MetaAppend(nand.MetaRecord{Kind: nand.MetaSLCRetire, SB: sb})
 }
 
 // WritePoint returns the open superblock id (-1 when unbound) and the next
@@ -394,6 +397,7 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 			done = end
 		}
 		sb := &r.sbs[r.cur]
+		geo := r.arr.Geometry()
 		for k := int64(0); k < took; k++ {
 			idx := int64(r.cur)*r.sbCap + r.pos
 			sb.valid[r.pos] = true
@@ -401,6 +405,11 @@ func (r *Region) append(at sim.Time, ws []Write, useReserve bool) ([]int64, sim.
 			sb.validCount++
 			r.pos++
 			idxs = append(idxs, idx)
+			// OOB stamp for recovery: the staged copy's logical address and
+			// its position in global program order.
+			if a, err := r.AddrOf(idx); err == nil {
+				r.arr.StampOOB(geo.PPAOf(a), ws[i+int(k)].LPA)
+			}
 		}
 		i += int(took)
 	}

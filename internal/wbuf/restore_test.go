@@ -152,3 +152,103 @@ func TestRestoreOverCapacityDrainsWhole(t *testing.T) {
 		}
 	}
 }
+
+// TestRestorePrependOverCapacityTake models a wholly failed flush returning
+// to a buffer that already holds the run's tail: the prepend pushes the
+// buffer above capacity, and an explicit Take must then drain the entire
+// oversized run as one contiguous flush — the crash-recovery retry path
+// depends on no sector being stranded behind the capacity trigger.
+func TestRestorePrependOverCapacityTake(t *testing.T) {
+	m, _ := New(2, 4)
+	flushes, err := m.Append(0, 100, [][]byte{
+		sector(1), sector(2), sector(3), sector(4), sector(5), sector(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushes) != 1 || flushes[0].Sectors() != 4 {
+		t.Fatalf("want one 4-sector flush, got %v", flushes)
+	}
+	// The whole flush failed (landed = 0): all four sectors go back in
+	// front of the two still buffered.
+	if err := m.Restore(0, 100, flushes[0].Payloads); err != nil {
+		t.Fatal(err)
+	}
+	if start, n := m.Buffered(0); start != 100 || n != 6 {
+		t.Fatalf("Buffered = %d, %d after prepend restore, want 100, 6", start, n)
+	}
+	fl := m.Take(0)
+	if fl == nil || fl.StartLBA != 100 || fl.Sectors() != 6 {
+		t.Fatalf("Take of oversized run = %+v, want 6 sectors at 100", fl)
+	}
+	for i := int64(0); i < 6; i++ {
+		if !bytes.Equal(fl.Payloads[i], sector(byte(i+1))) {
+			t.Fatalf("sector %d out of order in oversized take", 100+i)
+		}
+	}
+	if _, n := m.Buffered(0); n != 0 {
+		t.Fatalf("%d sectors stranded after oversized take", n)
+	}
+}
+
+// TestRestoreAfterTrimGapRejected pins the crash window between TrimFrom
+// and the write-pointer commit: the failing request's tail has been trimmed
+// out of the buffer, so a restore that no longer abuts the remaining run
+// must be refused — and must leave the surviving run untouched.
+func TestRestoreAfterTrimGapRejected(t *testing.T) {
+	m, _ := New(2, 4)
+	flushes, err := m.Append(0, 100, [][]byte{
+		sector(1), sector(2), sector(3), sector(4), sector(5), sector(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushes) != 1 {
+		t.Fatalf("want one flush, got %d", len(flushes))
+	}
+	// Trim the buffered tail down to the single sector at 104.
+	if got := m.TrimFrom(0, 105); got != 1 {
+		t.Fatalf("TrimFrom dropped %d, want 1", got)
+	}
+	// A restore ending at 103 leaves a hole before the surviving 104: refuse.
+	if err := m.Restore(0, 101, flushes[0].Payloads[1:3]); err == nil {
+		t.Fatal("gapped restore accepted")
+	}
+	// A restore starting past the run end is equally non-contiguous.
+	if err := m.Restore(0, 106, flushes[0].Payloads[:1]); err == nil {
+		t.Fatal("restore beyond the run end accepted")
+	}
+	if start, n := m.Buffered(0); start != 104 || n != 1 {
+		t.Fatalf("rejected restore disturbed the buffer: %d, %d", start, n)
+	}
+	if p, ok := m.ReadSector(0, 104); !ok || !bytes.Equal(p, sector(5)) {
+		t.Fatal("surviving sector corrupted by rejected restores")
+	}
+	// The contiguous prepend is still fine.
+	if err := m.Restore(0, 101, flushes[0].Payloads[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if start, n := m.Buffered(0); start != 101 || n != 4 {
+		t.Fatalf("Buffered = %d, %d after contiguous prepend, want 101, 4", start, n)
+	}
+}
+
+// TestRestoreRejectsBadPayloadSize: Restore validates sector sizes exactly
+// as Append does — a short payload slipped back into the buffer would later
+// program garbage.
+func TestRestoreRejectsBadPayloadSize(t *testing.T) {
+	m, _ := New(2, 4)
+	if err := m.Restore(0, 100, [][]byte{make([]byte, 17)}); err == nil {
+		t.Fatal("short payload accepted by Restore")
+	}
+	if _, n := m.Buffered(0); n != 0 {
+		t.Fatal("rejected restore left data buffered")
+	}
+	// nil entries (unverified workloads) stay allowed, as in Append.
+	if err := m.Restore(0, 100, [][]byte{nil, sector(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := m.Buffered(0); n != 2 {
+		t.Fatal("nil-entry restore did not buffer")
+	}
+}

@@ -279,6 +279,11 @@ func (m *Manager) Restore(zone int, startLBA int64, payloads [][]byte) error {
 	if len(payloads) == 0 {
 		return nil
 	}
+	for _, p := range payloads {
+		if p != nil && int64(len(p)) != units.Sector {
+			return fmt.Errorf("wbuf: restored payload must be %d bytes, got %d", units.Sector, len(p))
+		}
+	}
 	b := &m.bufs[m.BufferIndex(zone)]
 	n := int64(len(payloads))
 	switch {

@@ -416,6 +416,37 @@ func (m *Manager) Reset(id int) error {
 	return nil
 }
 
+// Restore sets a sequential zone's write pointer directly during mount
+// recovery, deriving the state from the pointer: at the start the zone is
+// Empty, at capacity Full, anywhere between Closed. Open states are never
+// restored — a power cut implicitly closes every open zone — and the
+// open/active limits are not consulted: Closed zones hold active resources
+// that the device cannot refuse to account for after a crash. A zone that
+// was Finished at a partial write pointer therefore recovers as Closed, not
+// Full; the durable facts are the written sectors, not the Finish.
+func (m *Manager) Restore(id int, wp int64) error {
+	if id < 0 || id >= len(m.zones) {
+		return ErrInvalidZone
+	}
+	z := &m.zones[id]
+	if z.Type == Conventional {
+		return ErrConventional
+	}
+	if wp < z.Start || wp > z.Start+z.Capacity {
+		return fmt.Errorf("zns: restore zone %d write pointer %d outside [%d,%d]", id, wp, z.Start, z.Start+z.Capacity)
+	}
+	z.WP = wp
+	switch {
+	case wp == z.Start:
+		z.State = Empty
+	case wp == z.Start+z.Capacity:
+		z.State = Full
+	default:
+		z.State = Closed
+	}
+	return nil
+}
+
 // SetReadOnly marks a zone read-only (failure injection for tests).
 func (m *Manager) SetReadOnly(id int) error {
 	if id < 0 || id >= len(m.zones) {

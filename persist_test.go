@@ -1,0 +1,256 @@
+package conzone
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// fillPattern builds n sectors of recognisable data keyed by (zone, tag).
+func fillPattern(zone, tag, nSectors int) []byte {
+	b := make([]byte, nSectors*int(SectorSize))
+	for i := range b {
+		b[i] = byte(zone*31 + tag*7 + i%127 + 1)
+	}
+	return b
+}
+
+// TestSaveImageOpenImageRoundTrip persists the NAND media to a file-backed
+// image and reopens it: everything a flush barrier made durable reads back,
+// zone write pointers match, and the reopened device is audit-clean and
+// writable. A reset before the save must stay a reset after the load.
+func TestSaveImageOpenImageRoundTrip(t *testing.T) {
+	cfg := SmallConfig()
+	dev, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb := dev.ZoneBytes()
+	data0 := fillPattern(0, 1, 30)
+	data2 := fillPattern(2, 1, 7)
+	if err := dev.Write(0, data0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.FlushZone(0); err != nil {
+		t.Fatal(err)
+	}
+	// Zone 1 is written, flushed, then reset: the image must not resurrect it.
+	if err := dev.Write(zb, fillPattern(1, 1, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.FlushZone(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ResetZone(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Write(2*zb, data2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.FlushZone(2); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "conzone.img")
+	if err := dev.SaveImage(path); err != nil {
+		t.Fatalf("save image: %v", err)
+	}
+
+	re, err := OpenImage(cfg, path)
+	if err != nil {
+		t.Fatalf("open image: %v", err)
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatalf("audit after image load: %v", err)
+	}
+	for _, c := range []struct {
+		zone    int
+		written int64
+	}{{0, 30}, {1, 0}, {2, 7}} {
+		z, err := re.Zone(c.zone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z.Written() != c.written {
+			t.Fatalf("zone %d recovered WP = %d sectors, want %d", c.zone, z.Written(), c.written)
+		}
+	}
+	got, err := re.Read(0, len(data0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data0) {
+		t.Fatal("zone 0 data did not survive the image round-trip")
+	}
+	got, err = re.Read(2*zb, len(data2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data2) {
+		t.Fatal("zone 2 data did not survive the image round-trip")
+	}
+	got, err = re.Read(zb, int(3*SectorSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("reset zone byte %d = %#x after image load, want 0", i, b)
+		}
+	}
+	// The reopened device keeps working.
+	more := fillPattern(1, 2, 4)
+	if err := re.Write(zb, more); err != nil {
+		t.Fatalf("write on reopened device: %v", err)
+	}
+	if err := re.FlushZone(1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := re.Read(zb, len(more)); err != nil || !bytes.Equal(got, more) {
+		t.Fatalf("reopened device write/read: %v", err)
+	}
+
+	// A geometry mismatch is refused outright.
+	bad := SmallConfig()
+	bad.Geometry.BlocksPerChip++
+	if _, err := OpenImage(bad, path); err == nil {
+		t.Fatal("image opened under a different geometry")
+	}
+}
+
+// runDeterministicOps drives one device through a fixed write/flush/reset
+// schedule, remounting after op 'remountAt' (-1 for never), and returns a
+// transcript of per-op results for comparison.
+func runDeterministicOps(t *testing.T, dev *Device, nOps, remountAt int) []string {
+	t.Helper()
+	var log []string
+	wp := make([]int64, dev.NumZones())
+	zb := dev.ZoneBytes()
+	for i := 0; i < nOps; i++ {
+		zone := i % 4
+		switch {
+		case i%17 == 16:
+			err := dev.ResetZone(zone)
+			log = append(log, fmt.Sprintf("reset z%d: %v", zone, err))
+			if err == nil {
+				wp[zone] = 0
+			}
+		default:
+			n := int64(4 + i%8)
+			if left := dev.ZoneBytes()/SectorSize - wp[zone]; n > left {
+				n = left
+			}
+			if n <= 0 {
+				continue
+			}
+			data := fillPattern(zone, i, int(n))
+			err := dev.Write(int64(zone)*zb+wp[zone]*SectorSize, data)
+			log = append(log, fmt.Sprintf("write z%d+%d x%d: %v", zone, wp[zone], n, err))
+			if err != nil {
+				continue
+			}
+			wp[zone] += n
+			err = dev.FlushZone(zone)
+			log = append(log, fmt.Sprintf("flush z%d: %v", zone, err))
+		}
+		if i == remountAt {
+			if err := dev.Remount(); err != nil {
+				t.Fatalf("remount after op %d: %v", i, err)
+			}
+		}
+	}
+	return log
+}
+
+// TestFaultStreamDeterministicAcrossRemount: with a seeded fault injector,
+// a run that crashes at a barrier and remounts must see exactly the fault
+// sequence an uninterrupted run sees — same per-op results, same fault
+// counters, same final media state. This is what fault.Snapshot/Restore
+// across ftl.Recover buys.
+func TestFaultStreamDeterministicAcrossRemount(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.FTL.SpareSuperblocks = 2
+	cfg.FTL.Faults = &FaultConfig{
+		Seed: 0xD373,
+		TLC:  FaultProbabilities{ProgramFail: 0.15},
+	}
+	const nOps = 50
+	devA, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logA := runDeterministicOps(t, devA, nOps, -1)
+	logB := runDeterministicOps(t, devB, nOps, 24)
+	if len(logA) != len(logB) {
+		t.Fatalf("transcript lengths diverged: %d vs %d", len(logA), len(logB))
+	}
+	for i := range logA {
+		if logA[i] != logB[i] {
+			t.Fatalf("op result %d diverged:\n  uninterrupted: %s\n  remounted:     %s", i, logA[i], logB[i])
+		}
+	}
+	sa, sb := devA.FTL().Stats(), devB.FTL().Stats()
+	if sa.ProgramFails != sb.ProgramFails || sa.EraseFails != sb.EraseFails ||
+		sa.RetiredSuperblocks != sb.RetiredSuperblocks {
+		t.Fatalf("fault counters diverged:\n  uninterrupted: pf=%d ef=%d retired=%d\n  remounted:     pf=%d ef=%d retired=%d",
+			sa.ProgramFails, sa.EraseFails, sa.RetiredSuperblocks,
+			sb.ProgramFails, sb.EraseFails, sb.RetiredSuperblocks)
+	}
+	if sb.LostAckSectors != 0 {
+		t.Fatalf("remounted run lost %d acknowledged sectors", sb.LostAckSectors)
+	}
+	// Final media state must agree wherever both accepted the data.
+	zb := devA.ZoneBytes()
+	for zone := 0; zone < 4; zone++ {
+		za, _ := devA.Zone(zone)
+		zbi, _ := devB.Zone(zone)
+		if za.Written() != zbi.Written() {
+			t.Fatalf("zone %d WP diverged: %d vs %d", zone, za.Written(), zbi.Written())
+		}
+		if za.Written() == 0 {
+			continue
+		}
+		n := int(za.Written() * SectorSize)
+		ga, err := devA.Read(int64(zone)*zb, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := devB.Read(int64(zone)*zb, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ga, gb) {
+			t.Fatalf("zone %d contents diverged after remount", zone)
+		}
+	}
+	if err := devB.CheckInvariants(); err != nil {
+		t.Fatalf("remounted device audit: %v", err)
+	}
+}
+
+// TestRemountPreservesQueueLayout: a remount rebuilds the host controller
+// with the queue configuration in effect, not the defaults.
+func TestRemountPreservesQueueLayout(t *testing.T) {
+	dev, err := Open(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ConfigureQueues(2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Remount(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Host().Queues(); got != 2 {
+		t.Fatalf("queues after remount = %d, want 2", got)
+	}
+	cfg := dev.Host().Configuration()
+	if cfg.Queues != 2 || cfg.Depth != 8 {
+		t.Fatalf("queue configuration after remount = %+v, want {2 8}", cfg)
+	}
+}
