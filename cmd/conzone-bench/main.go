@@ -8,6 +8,8 @@
 //	conzone-bench -qd 1,2,4,8,16 [-quick] [-metrics-json sweep.json]
 //	conzone-bench -faults [-fault-seed 7] [-quick]
 //	conzone-bench -crash [-crash-seeds 8] [-crash-ops 600] [-fault-seed 7] [-quick]
+//	conzone-bench -timeseries [-sample-interval 5ms] [-series-jsonl s.jsonl] [-series-csv s.csv] [-quick]
+//	conzone-bench -serve :9090 [-quick]
 //	conzone-bench -selfbench [-json BENCH_emulator.json]
 //
 // Any mode accepts -cpuprofile/-memprofile to write pprof profiles of the
@@ -23,6 +25,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"text/tabwriter"
+	"time"
 
 	"github.com/conzone/conzone"
 	"github.com/conzone/conzone/internal/config"
@@ -43,6 +46,11 @@ func main() {
 	crash := flag.Bool("crash", false, "run the crash-remount differential fuzzer (power cut at a seeded instant, remount, verify durability)")
 	crashSeeds := flag.Int("crash-seeds", 8, "with -crash: how many seeds to run")
 	crashOps := flag.Int("crash-ops", 600, "with -crash: ops per generated sequence")
+	timeseries := flag.Bool("timeseries", false, "sample a sustained random-write workload on the virtual clock and print the WAF/GC series")
+	serve := flag.String("serve", "", "with -timeseries (implied): serve /metrics, /timeseries.json, /zones.json and /debug/pprof on this address (e.g. :9090)")
+	sampleEvery := flag.Duration("sample-interval", 5*time.Millisecond, "with -timeseries: virtual-time sample interval")
+	seriesJSONL := flag.String("series-jsonl", "", "with -timeseries: write the sample series as JSON Lines to this file")
+	seriesCSV := flag.String("series-csv", "", "with -timeseries: write the sample series as CSV to this file")
 	selfbench := flag.Bool("selfbench", false, "measure the emulator's own wall-clock throughput (ns per emulated I/O)")
 	jsonOut := flag.String("json", "", "with -selfbench: write the results to this file (e.g. BENCH_emulator.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -90,6 +98,19 @@ func main() {
 	}
 	if *metrics {
 		if err := runMetrics(cfg, *metricsJSON, *chromeOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *timeseries || *serve != "" {
+		err := runTimeseries(cfg, tsOptions{
+			serve:    *serve,
+			jsonl:    *seriesJSONL,
+			csv:      *seriesCSV,
+			interval: *sampleEvery,
+			quick:    *quick,
+		})
+		if err != nil {
 			fatal(err)
 		}
 		return

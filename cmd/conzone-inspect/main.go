@@ -20,6 +20,7 @@ import (
 	"github.com/conzone/conzone/internal/config"
 	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/telemetry"
 	"github.com/conzone/conzone/internal/units"
 )
 
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	if *image != "" {
-		if err := inspectImage(cfg, *image); err != nil {
+		if err := inspectImage(cfg, *image, *zones); err != nil {
 			fatal(err)
 		}
 		return
@@ -113,13 +114,18 @@ func main() {
 		if err := zw.Flush(); err != nil {
 			fatal(err)
 		}
+		fmt.Println()
+		if err := telemetry.CollectZones(f, 0).WriteHeatmap(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 
 // inspectImage recovers a file-backed NAND image exactly as a crashed
 // device's mount path would and reports the durable state that survived:
 // zone write pointers, the metadata journal, wear and the bad-block table.
-func inspectImage(cfg config.DeviceConfig, path string) error {
+// With zones set it also renders the recovered state's textual heatmaps.
+func inspectImage(cfg config.DeviceConfig, path string, zones bool) error {
 	dev, err := conzone.OpenImage(cfg, path)
 	if err != nil {
 		return err
@@ -173,7 +179,14 @@ func inspectImage(cfg config.DeviceConfig, path string) error {
 			fmt.Fprintf(jw, "%d\t%v\tstaging superblock %d\n", i, rec.Kind, rec.SB)
 		}
 	}
-	return jw.Flush()
+	if err := jw.Flush(); err != nil {
+		return err
+	}
+	if zones {
+		fmt.Println()
+		return dev.Heatmap().WriteHeatmap(os.Stdout)
+	}
+	return nil
 }
 
 func pick(preset string) (config.DeviceConfig, error) {

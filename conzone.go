@@ -38,14 +38,12 @@ import (
 	"github.com/conzone/conzone/internal/femu"
 	"github.com/conzone/conzone/internal/ftl"
 	"github.com/conzone/conzone/internal/host"
-	"github.com/conzone/conzone/internal/l2pcache"
 	"github.com/conzone/conzone/internal/legacy"
 	"github.com/conzone/conzone/internal/nand"
 	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
-	"github.com/conzone/conzone/internal/slc"
+	"github.com/conzone/conzone/internal/telemetry"
 	"github.com/conzone/conzone/internal/units"
-	"github.com/conzone/conzone/internal/wbuf"
 	"github.com/conzone/conzone/internal/workload"
 	"github.com/conzone/conzone/internal/zns"
 )
@@ -151,39 +149,18 @@ func LoadConfig(path string) (Config, error) { return config.Load(path) }
 // DefaultLatencies returns the paper's Table II timing values.
 func DefaultLatencies() LatencyTable { return nand.DefaultLatencies() }
 
-// Stats is a unified snapshot of a ConZone device's counters.
-type Stats struct {
-	FTL     ftl.Stats
-	Cache   l2pcache.Stats
-	NAND    nand.Counters
-	Staging slc.Stats
-	Buffers wbuf.Stats
+// Stats is a unified snapshot of a ConZone device's counters: every
+// subsystem's counter block (FTL, L2P cache, NAND, SLC staging, write
+// buffers, fault injector), the derived WAF and miss-ratio gauges, the
+// robustness counters (grown-bad blocks, power cuts, recoveries) and the
+// point-in-time Occupancy gauges. Stats.Delta subtracts two snapshots for
+// interval reporting; internal/telemetry owns the definition so the
+// virtual-time sampler, the exporters and this public API can never drift
+// apart.
+type Stats = telemetry.Stats
 
-	WAF          float64
-	L2PMissRatio float64
-}
-
-// Delta returns the counter changes from prev to s: every counter field is
-// subtracted, and the two ratios are recomputed over the interval (WAF from
-// the interval's byte deltas, the miss ratio from the interval's lookups).
-// Interval reporters snapshot Stats per tick and call Delta instead of
-// subtracting fields by hand.
-func (s Stats) Delta(prev Stats) Stats {
-	d := Stats{
-		FTL:     s.FTL.Delta(prev.FTL),
-		Cache:   s.Cache.Delta(prev.Cache),
-		NAND:    s.NAND.Delta(prev.NAND),
-		Staging: s.Staging.Delta(prev.Staging),
-		Buffers: s.Buffers.Delta(prev.Buffers),
-	}
-	if d.FTL.HostWrittenBytes > 0 {
-		d.WAF = float64(d.NAND.BytesProgrammed) / float64(d.FTL.HostWrittenBytes)
-	}
-	if lookups := d.Cache.Hits + d.Cache.Misses; lookups > 0 {
-		d.L2PMissRatio = float64(d.Cache.Misses) / float64(lookups)
-	}
-	return d
-}
+// Occupancy holds the point-in-time fill gauges inside a Stats snapshot.
+type Occupancy = telemetry.Occupancy
 
 // Device is a thread-safe ConZone device with a byte-granular convenience
 // API and an internal virtual clock. All byte offsets and lengths must be
@@ -199,6 +176,10 @@ type Device struct {
 	f   *ftl.FTL
 	h   *host.Controller
 	now sim.Time
+
+	// smp is the virtual-time telemetry sampler (nil until EnableSampling);
+	// advance polls it with a nil-safe comparison on every clock movement.
+	smp *telemetry.Sampler
 }
 
 // Open builds a ConZone device from the configuration, with the default
@@ -248,6 +229,10 @@ func (d *Device) Now() time.Duration {
 func (d *Device) advance(t sim.Time) {
 	if t > d.now {
 		d.now = t
+	}
+	// Sampling disabled (the common case) costs exactly this comparison.
+	if d.smp.Due(d.now) {
+		d.smp.Record(d.now, telemetry.Collect(d.f))
 	}
 }
 
@@ -556,15 +541,7 @@ func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.advance(d.h.Kick())
-	return Stats{
-		FTL:          d.f.Stats(),
-		Cache:        d.f.Cache().Stats(),
-		NAND:         d.f.Array().Counters(),
-		Staging:      d.f.Staging().Stats(),
-		Buffers:      d.f.Buffers().Stats(),
-		WAF:          d.f.WAF(),
-		L2PMissRatio: d.f.Cache().MissRatio(),
-	}
+	return telemetry.Collect(d.f)
 }
 
 // Workload types re-exported for experiment harnesses.

@@ -28,6 +28,74 @@ func (f *FTL) ResolvePSN(psn mapping.PSN) (nand.Addr, error) { return f.psnLoc(p
 // FreeSBList returns a copy of the free normal-superblock pool.
 func (f *FTL) FreeSBList() []int { return append([]int(nil), f.freeSBs...) }
 
+// FreeSuperblockCount returns the size of the free normal-superblock pool
+// without copying it (telemetry hot path).
+func (f *FTL) FreeSuperblockCount() int { return len(f.freeSBs) }
+
+// GrownBadBlocks returns the size of the grown-bad block table without
+// copying it (telemetry hot path).
+func (f *FTL) GrownBadBlocks() int { return len(f.badBlocks) }
+
+// SpareRemaining returns how many of the configured spare superblocks are
+// still unconsumed by retirement. Retirements beyond the reserve (the
+// read-only degradation case) clamp to zero.
+func (f *FTL) SpareRemaining() int {
+	left := int64(f.params.SpareSuperblocks) - f.stats.RetiredSuperblocks
+	if left < 0 {
+		left = 0
+	}
+	return int(left)
+}
+
+// ZoneCounts returns one zone's media-placement summary without allocating:
+// the bound normal superblock (-1 when unbound), how many SLC staging
+// sectors the zone owns, how many of those are still valid, and how many
+// belong to the pending partially-programmed unit. The per-zone heatmap
+// collector (internal/telemetry) is the intended caller.
+func (f *FTL) ZoneCounts(zone int) (sb int, staged, validStaged, pend int64, err error) {
+	if zone < 0 || zone >= f.numZones {
+		return -1, 0, 0, 0, fmt.Errorf("ftl: zone %d out of range [0,%d)", zone, f.numZones)
+	}
+	zs := &f.zstate[zone]
+	for g := range zs.staged {
+		staged++
+		if f.staging.IsValid(g) {
+			validStaged++
+		}
+	}
+	return zs.sb, staged, validStaged, int64(len(zs.pend)), nil
+}
+
+// SBEraseMean returns the mean per-chip erase count of one normal
+// superblock, the per-superblock wear figure Wear reports, without
+// building the whole report.
+func (f *FTL) SBEraseMean(sb int) float64 {
+	if sb < 0 || sb >= f.geo.NormalBlocks() {
+		return 0
+	}
+	chips := f.geo.Chips()
+	block := f.geo.FirstNormalBlock() + sb
+	var sum int64
+	for c := 0; c < chips; c++ {
+		sum += f.arr.EraseCount(c, block)
+	}
+	return float64(sum) / float64(chips)
+}
+
+// SLCEraseMean returns the mean per-chip erase count of one SLC staging
+// superblock.
+func (f *FTL) SLCEraseMean(sb int) float64 {
+	if sb < 0 || sb >= f.geo.SLCBlocks {
+		return 0
+	}
+	chips := f.geo.Chips()
+	var sum int64
+	for c := 0; c < chips; c++ {
+		sum += f.arr.EraseCount(c, sb)
+	}
+	return float64(sum) / float64(chips)
+}
+
 // DebugRetireSB is a corruption hook: it records superblock sb as retired
 // (with its bad-block entry) without removing it from the free list or any
 // zone binding, desynchronizing the grown-bad bookkeeping on purpose.

@@ -65,10 +65,14 @@ type Array struct {
 	lastProgStart []sim.Time
 
 	// Power-loss model (see power.go): when armed, the first operation
-	// completing past cutAt is torn and the array dies.
-	cutArmed bool
-	cutAt    sim.Time
-	dead     bool
+	// completing past cutAt is torn and the array dies. powerCuts counts
+	// fired cuts and recoveries counts PowerOn calls; both accumulate
+	// across remounts because the array itself survives them.
+	cutArmed   bool
+	cutAt      sim.Time
+	dead       bool
+	powerCuts  int64
+	recoveries int64
 
 	// Per-sector OOB metadata and the global program sequence counter
 	// (see power.go). oobLPA is -1 for never-stamped sectors.

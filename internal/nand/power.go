@@ -29,14 +29,34 @@ func (a *Array) ArmPowerCut(at sim.Time) {
 }
 
 // PowerOn clears the power-loss state: the cut is disarmed and a dead array
-// accepts operations again. Recovery calls it first, before scanning media.
+// accepts operations again. Recovery calls it first, before scanning media,
+// so the recovery counter also counts image mounts (OpenImage goes through
+// the same path a crashed device does).
 func (a *Array) PowerOn() {
 	a.cutArmed = false
 	a.dead = false
+	a.recoveries++
+}
+
+// die marks the array dead to an armed power cut, counting the transition
+// exactly once per cut.
+func (a *Array) die() {
+	if !a.dead {
+		a.dead = true
+		a.powerCuts++
+	}
 }
 
 // PowerLost reports whether the array has already died.
 func (a *Array) PowerLost() bool { return a.dead }
+
+// PowerCuts returns how many armed power cuts have fired over the array's
+// lifetime, across remounts.
+func (a *Array) PowerCuts() int64 { return a.powerCuts }
+
+// Recoveries returns how many times the array was powered back on for a
+// recovery mount (Remount or OpenImage).
+func (a *Array) Recoveries() int64 { return a.recoveries }
 
 // PowerLostAt reports whether the device has power at the instant 'at':
 // true once a media operation has torn, or once the armed cut instant has
@@ -48,7 +68,7 @@ func (a *Array) PowerLostAt(at sim.Time) bool {
 		return true
 	}
 	if a.cutArmed && at > a.cutAt {
-		a.dead = true
+		a.die()
 		return true
 	}
 	return false
@@ -63,7 +83,7 @@ func (a *Array) gate(end sim.Time) error {
 		return power.ErrPowerLoss
 	}
 	if a.cutArmed && end > a.cutAt {
-		a.dead = true
+		a.die()
 		return power.ErrPowerLoss
 	}
 	return nil

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/conzone/conzone/internal/obs"
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// writeJSON encodes v as indented JSON, ignoring transport errors (a
+// scraper hanging up mid-response is its problem, not the device's).
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Source is what the scrape endpoint needs from a device: the unified
+// snapshot, the per-stage observation telemetry, the retained virtual-time
+// series and the spatial snapshot. *conzone.Device satisfies it.
+type Source interface {
+	Stats() Stats
+	Telemetry() obs.Telemetry
+	Series() []Sample
+	Heatmap() ZoneTable
+	SampleInterval() sim.Duration
+}
+
+// timeseriesPayload is the /timeseries.json response shape.
+type timeseriesPayload struct {
+	IntervalNs sim.Duration `json:"interval_ns"` // 0 when sampling is disabled
+	Samples    []Sample     `json:"samples"`
+}
+
+// Handler builds the live observability endpoint over a source:
+//
+//	/metrics          Prometheus text exposition: unified snapshot,
+//	                  per-stage latency summaries, per-zone heat gauges
+//	/timeseries.json  the retained virtual-time sample series
+//	/zones.json       the spatial per-zone / per-SLC-superblock snapshot
+//	/debug/pprof/     the device process's own live Go profiles
+//	/                 a plain-text index of the above
+//
+// Every read takes a fresh snapshot under the device's own lock, so
+// scraping a device mid-workload is safe; it observes, never mutates. The
+// pprof handlers profile the emulator process itself (wall time, real
+// allocations), complementing the virtual-time metrics.
+func Handler(src Source) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := src.Stats().WritePrometheus(w); err != nil {
+			return
+		}
+		if err := src.Telemetry().WritePrometheus(w); err != nil {
+			return
+		}
+		_ = src.Heatmap().WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/timeseries.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, timeseriesPayload{
+			IntervalNs: src.SampleInterval(),
+			Samples:    src.Series(),
+		})
+	})
+
+	mux.HandleFunc("/zones.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = src.Heatmap().WriteJSON(w)
+	})
+
+	mux.HandleFunc("/zones.txt", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = src.Heatmap().WriteHeatmap(w)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("conzone observability endpoint\n\n" +
+			"  /metrics          Prometheus text exposition\n" +
+			"  /timeseries.json  virtual-time sample series\n" +
+			"  /zones.json       per-zone / per-SLC heat table\n" +
+			"  /zones.txt        textual heatmaps\n" +
+			"  /debug/pprof/     live Go profiles of this process\n"))
+	})
+
+	return mux
+}

@@ -1,0 +1,138 @@
+// Package telemetry is the virtual-time observability layer of the
+// emulator. Where internal/obs attributes latency to pipeline stages at
+// the granularity of single I/Os, this package answers the questions the
+// paper's evaluation poses as curves: how WAF climbs as garbage collection
+// kicks in, how SLC staging fills and drains, how wear spreads across
+// zones. It owns three things:
+//
+//   - the unified device Stats snapshot (re-exported as conzone.Stats),
+//     folding every subsystem's counters — FTL, L2P cache, NAND, SLC
+//     staging, write buffers, the fault injector, bad-block management and
+//     the power-loss model — plus point-in-time occupancy gauges;
+//   - a virtual-time Sampler (sampler.go) that turns those snapshots into
+//     a ring-buffered time series with zero steady-state allocations;
+//   - spatial snapshots (zones.go): per-zone and per-SLC-superblock
+//     heatmap tables, with JSONL/CSV/Prometheus exporters (export.go) and
+//     a live net/http scrape endpoint (server.go).
+package telemetry
+
+import (
+	"github.com/conzone/conzone/internal/fault"
+	"github.com/conzone/conzone/internal/ftl"
+	"github.com/conzone/conzone/internal/l2pcache"
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/slc"
+	"github.com/conzone/conzone/internal/wbuf"
+)
+
+// Occupancy holds the point-in-time gauges of a snapshot: how full the
+// volatile and SLC staging tiers are and how much slack the superblock
+// pools have. Delta copies the current values instead of subtracting —
+// an occupancy difference is rarely meaningful and a post-crash reading
+// must not inherit pre-crash fill levels.
+type Occupancy struct {
+	SLCValidSectors      int64 `json:"slc_valid_sectors"`      // live staged sectors across the SLC region
+	SLCFreeSuperblocks   int64 `json:"slc_free_superblocks"`   // unbound SLC staging superblocks
+	SLCUsableSuperblocks int64 `json:"slc_usable_superblocks"` // staging superblocks not retired
+	BufferedSectors      int64 `json:"buffered_sectors"`       // sectors sitting in volatile write buffers
+	FreeSuperblocks      int64 `json:"free_superblocks"`       // normal superblocks ready for binding
+	SpareRemaining       int64 `json:"spare_remaining"`        // configured spares not yet consumed by retirement
+	OpenZones            int64 `json:"open_zones"`
+	ActiveZones          int64 `json:"active_zones"`
+	ReadOnly             bool  `json:"read_only"` // sticky degradation flag
+}
+
+// Stats is the unified counter snapshot of a ConZone device. Every field
+// group is a plain value struct, so a snapshot is a single struct copy:
+// taking one allocates nothing, and two snapshots subtract field-by-field
+// via Delta for interval reporting.
+type Stats struct {
+	FTL     ftl.Stats      `json:"ftl"`
+	Cache   l2pcache.Stats `json:"cache"`
+	NAND    nand.Counters  `json:"nand"`
+	Staging slc.Stats      `json:"staging"`
+	Buffers wbuf.Stats     `json:"buffers"`
+	Fault   fault.Stats    `json:"fault"` // zero with faults disabled
+
+	WAF          float64 `json:"waf"`
+	L2PMissRatio float64 `json:"l2p_miss_ratio"`
+
+	// Robustness and power-loss counters (PRs 5-6). GrownBadBlocks and
+	// RetiredSuperblocks (inside FTL) are monotonic; PowerCuts counts
+	// fired power cuts and Recoveries counts recovery mounts, both
+	// surviving remounts because the NAND array does.
+	GrownBadBlocks int64 `json:"grown_bad_blocks"`
+	PowerCuts      int64 `json:"power_cuts"`
+	Recoveries     int64 `json:"recoveries"`
+
+	Occupancy Occupancy `json:"occupancy"`
+}
+
+// Delta returns the counter changes from prev to s: every counter field is
+// subtracted, the two ratios are recomputed over the interval (WAF from the
+// interval's byte deltas, the miss ratio from the interval's lookups), and
+// the occupancy gauges are copied from s (the current reading). Interval
+// reporters snapshot Stats per tick and call Delta instead of subtracting
+// fields by hand.
+func (s Stats) Delta(prev Stats) Stats {
+	d := Stats{
+		FTL:     s.FTL.Delta(prev.FTL),
+		Cache:   s.Cache.Delta(prev.Cache),
+		NAND:    s.NAND.Delta(prev.NAND),
+		Staging: s.Staging.Delta(prev.Staging),
+		Buffers: s.Buffers.Delta(prev.Buffers),
+		Fault:   s.Fault.Delta(prev.Fault),
+
+		GrownBadBlocks: s.GrownBadBlocks - prev.GrownBadBlocks,
+		PowerCuts:      s.PowerCuts - prev.PowerCuts,
+		Recoveries:     s.Recoveries - prev.Recoveries,
+
+		Occupancy: s.Occupancy,
+	}
+	if d.FTL.HostWrittenBytes > 0 {
+		d.WAF = float64(d.NAND.BytesProgrammed) / float64(d.FTL.HostWrittenBytes)
+	}
+	if lookups := d.Cache.Hits + d.Cache.Misses; lookups > 0 {
+		d.L2PMissRatio = float64(d.Cache.Misses) / float64(lookups)
+	}
+	return d
+}
+
+// Collect assembles the unified snapshot from a live FTL. It performs no
+// heap allocations (pinned by TestCollectZeroAlloc), so the virtual-time
+// sampler may call it from the I/O hot path.
+func Collect(f *ftl.FTL) Stats {
+	arr := f.Array()
+	staging := f.Staging()
+	zones := f.Zones()
+	s := Stats{
+		FTL:     f.Stats(),
+		Cache:   f.Cache().Stats(),
+		NAND:    arr.Counters(),
+		Staging: staging.Stats(),
+		Buffers: f.Buffers().Stats(),
+
+		WAF:          f.WAF(),
+		L2PMissRatio: f.Cache().MissRatio(),
+
+		GrownBadBlocks: int64(f.GrownBadBlocks()),
+		PowerCuts:      arr.PowerCuts(),
+		Recoveries:     arr.Recoveries(),
+
+		Occupancy: Occupancy{
+			SLCValidSectors:      staging.TotalValid(),
+			SLCFreeSuperblocks:   int64(staging.FreeSuperblocks()),
+			SLCUsableSuperblocks: int64(staging.UsableSuperblocks()),
+			BufferedSectors:      f.Buffers().BufferedSectors(),
+			FreeSuperblocks:      int64(f.FreeSuperblockCount()),
+			SpareRemaining:       int64(f.SpareRemaining()),
+			OpenZones:            int64(zones.OpenCount()),
+			ActiveZones:          int64(zones.ActiveCount()),
+			ReadOnly:             f.ReadOnly(),
+		},
+	}
+	if inj := f.FaultInjector(); inj != nil {
+		s.Fault = inj.Stats()
+	}
+	return s
+}

@@ -208,6 +208,14 @@ func (m *Manager) OpenZones() []int {
 	return out
 }
 
+// OpenCount returns how many zones are currently open (telemetry gauge;
+// unlike OpenZones it does not allocate).
+func (m *Manager) OpenCount() int { return m.countOpen() }
+
+// ActiveCount returns how many zones currently hold active resources
+// (open or closed).
+func (m *Manager) ActiveCount() int { return m.countActive() }
+
 func (m *Manager) countOpen() int {
 	n := 0
 	for i := range m.zones {

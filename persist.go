@@ -8,6 +8,7 @@ import (
 	"github.com/conzone/conzone/internal/host"
 	"github.com/conzone/conzone/internal/nand"
 	"github.com/conzone/conzone/internal/power"
+	"github.com/conzone/conzone/internal/telemetry"
 )
 
 // Power-loss injection and crash-consistent recovery.
@@ -71,7 +72,16 @@ func (d *Device) Remount() error {
 		return fmt.Errorf("conzone: remount: %w", err)
 	}
 	d.f, d.h = f, h
-	d.advance(done)
+	// Advance the clock directly instead of through advance(): the sampler
+	// must not record a regular sample here, because its delta baseline
+	// still holds pre-crash counters from the old FTL. The discontinuity
+	// marker below resets the baseline to the recovered snapshot and breaks
+	// the series explicitly; occupancy gauges restart from the recovered
+	// (drained) state.
+	if done > d.now {
+		d.now = done
+	}
+	d.smp.Discontinuity(d.now, telemetry.Collect(d.f))
 	return nil
 }
 
