@@ -119,6 +119,12 @@ func TestAsyncRunBitIdentical(t *testing.T) {
 		return res
 	}
 	a, b := run(), run()
+	// The latency histograms must match observation for observation; the
+	// remaining fields compare as one struct once the pointers are masked.
+	if ah, bh := a.Hist.Summarize(), b.Hist.Summarize(); ah != bh {
+		t.Fatalf("two identical queued runs diverged in latency:\n%+v\n%+v", ah, bh)
+	}
+	a.Hist, b.Hist = nil, nil
 	if a != b {
 		t.Fatalf("two identical queued runs diverged:\n%+v\n%+v", a, b)
 	}

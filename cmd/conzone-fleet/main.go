@@ -1,0 +1,127 @@
+// Command conzone-fleet simulates a population of ConZone devices — the
+// "thousands of phones, one experiment" runner.
+//
+// Usage:
+//
+//	conzone-fleet [-spec fleet.json] [-seed N] [-devices N] [-workers N]
+//	              [-metrics out.prom] [-json out.json] [-print-spec] [-digest]
+//
+// Without -spec the built-in two-cohort population runs: "fresh"
+// factory-new devices against "worn" pre-aged devices with wear-coupled
+// fault rates and occasional mid-run power cuts, -devices each. The merged
+// report (per-cohort device/failure/power-loss/read-only counts, exact
+// population latency percentiles, WAF) goes to stdout; -metrics writes the
+// per-cohort Prometheus exposition. Output is byte-identical across runs
+// and across -workers values: only wall-clock time changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/conzone/conzone/internal/fleet"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "fleet spec JSON (default: the built-in two-cohort population)")
+	seed := flag.Uint64("seed", 1, "fleet master seed (overrides the spec's seed when -seed is given explicitly)")
+	devices := flag.Int("devices", 500, "without -spec: devices per built-in cohort")
+	workers := flag.Int("workers", 0, "concurrent devices (0 = NumCPU); does not affect results")
+	metricsOut := flag.String("metrics", "", "write the per-cohort Prometheus exposition to this file ('-' = stdout)")
+	jsonOut := flag.String("json", "", "write per-device results as JSON to this file")
+	printSpec := flag.Bool("print-spec", false, "print the effective spec as JSON and exit")
+	digest := flag.Bool("digest", false, "print the SHA-256 digest of the merged output after the report")
+	flag.Parse()
+
+	var spec fleet.Spec
+	if *specPath != "" {
+		var err error
+		spec, err = fleet.LoadSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		if seedSet() {
+			spec.Seed = *seed
+		}
+	} else {
+		spec = fleet.DefaultSpec(*seed, *devices)
+	}
+
+	if *printSpec {
+		b, err := json.MarshalIndent(&spec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+
+	// Progress goes to stderr so stdout stays the deterministic report.
+	last := -1
+	res, err := fleet.Run(&spec, fleet.Options{
+		Workers: *workers,
+		Progress: func(done, total int) {
+			pct := done * 100 / total
+			if pct/10 > last/10 {
+				last = pct
+				fmt.Fprintf(os.Stderr, "fleet: %d/%d devices (%d%%)\n", done, total, pct)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := res.WriteReport(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *digest {
+		fmt.Printf("digest: sha256:%s\n", res.Digest())
+	}
+
+	if *metricsOut != "" {
+		if *metricsOut == "-" {
+			if err := res.WriteMetrics(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.WriteMetrics(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(res.Devices, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// seedSet reports whether -seed was given explicitly on the command line.
+func seedSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conzone-fleet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"github.com/conzone/conzone/internal/fleet"
+)
+
+// TestThousandDeviceDeterminism is the CLI acceptance pin: the built-in
+// two-cohort population at 1000 devices — exactly what
+// `conzone-fleet -devices 500` runs — produces byte-identical report and
+// metrics output across repeated runs and across worker-pool sizes.
+func TestThousandDeviceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-device population in -short mode")
+	}
+	type out struct {
+		report, metrics []byte
+		digest          string
+	}
+	runOnce := func(workers int) out {
+		spec := fleet.DefaultSpec(1, 500)
+		res, err := fleet.Run(&spec, fleet.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r, m bytes.Buffer
+		if err := res.WriteReport(&r); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteMetrics(&m); err != nil {
+			t.Fatal(err)
+		}
+		if res.Fleet.Devices != 1000 || len(res.Cohorts) != 2 {
+			t.Fatalf("population shape: %d devices, %d cohorts", res.Fleet.Devices, len(res.Cohorts))
+		}
+		if res.Fleet.Failed != 0 {
+			t.Fatalf("%d devices failed to build or run", res.Fleet.Failed)
+		}
+		if res.Fleet.Lat.Count == 0 {
+			t.Fatal("population recorded no latencies")
+		}
+		return out{r.Bytes(), m.Bytes(), res.Digest()}
+	}
+
+	wide := runOnce(runtime.NumCPU())
+	again := runOnce(runtime.NumCPU())
+	serial := runOnce(1)
+
+	if !bytes.Equal(wide.report, again.report) || wide.digest != again.digest {
+		t.Errorf("output differs across repeated runs:\n%s\n---\n%s", wide.report, again.report)
+	}
+	if !bytes.Equal(wide.report, serial.report) || wide.digest != serial.digest {
+		t.Errorf("output differs across worker counts:\n%s\n---\n%s", wide.report, serial.report)
+	}
+	if !bytes.Equal(wide.metrics, serial.metrics) {
+		t.Error("metrics exposition differs across worker counts")
+	}
+}

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/telemetry"
+)
+
+// Device-isolation audit (fleet prerequisite). The repo's package-level
+// state is limited to immutable tables (error sentinels, name arrays,
+// refdata constants) and nand's sync.Pool of payload slabs, whose contents
+// are never semantic — so two devices in one process must behave exactly
+// like one device each in two processes. These tests pin that.
+
+// TestInterleavedDevicesBitIdentical drives two different devices
+// strictly alternately — one operation each, in one goroutine, in one
+// process — and asserts every completion time matches the same sequence
+// run against each device alone. Any cross-device leakage (a shared
+// clock, RNG, cache or counter) would skew the virtual timings.
+func TestInterleavedDevicesBitIdentical(t *testing.T) {
+	const ops = 200
+
+	// driveOne issues op i of the device's deterministic little workload:
+	// random reads interleaved with zone-sequential writes (tracked write
+	// pointers, reset on wrap — zoned writes must land on the WP).
+	driveOne := func(f devHandle, st *driveState, at sim.Time, i int) sim.Time {
+		var end sim.Time
+		var err error
+		if i%3 == 2 {
+			lba := st.rng.Int63n(f.TotalSectors() - 4)
+			_, end, err = f.Read(at, lba, 4)
+		} else {
+			zoneSec := f.ZoneCapSectors()
+			if st.wps == nil {
+				st.wps = make([]int64, f.NumZones())
+			}
+			zone := int64(st.rng.Int63n(int64(f.NumZones())))
+			if st.wps[zone]+8 > zoneSec {
+				if _, err = f.ResetZone(at, int(zone)); err != nil {
+					t.Fatalf("reset zone %d: %v", zone, err)
+				}
+				st.wps[zone] = 0
+			}
+			end, err = f.Write(at, zone*zoneSec+st.wps[zone], make([][]byte, 8))
+			st.wps[zone] += 8
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		return end
+	}
+
+	run := func(cfg config.DeviceConfig, seed uint64, interleaveWith func(i int)) ([]sim.Time, telemetry.Stats) {
+		f, err := cfg.NewConZone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &driveState{rng: sim.NewRand(seed)}
+		times := make([]sim.Time, 0, ops)
+		var at sim.Time
+		for i := 0; i < ops; i++ {
+			at = driveOne(f, st, at, i)
+			times = append(times, at)
+			if interleaveWith != nil {
+				interleaveWith(i)
+			}
+		}
+		return times, telemetry.Collect(f)
+	}
+
+	cfgA := config.Small()
+	cfgB := config.QLC()
+	cfgB.Geometry.BlocksPerChip = 20 // shrink the QLC device for test speed
+	cfgB.Geometry.PagesPerBlock = 32
+	cfgB.Geometry.SLCPagesPerBlock = 8
+	cfgB.Geometry.SLCBlocks = 4
+	cfgB.FTL.ChunkSectors = 128
+
+	// Solo baselines.
+	soloA, telA := run(cfgA, 7, nil)
+	soloB, telB := run(cfgB, 8, nil)
+
+	// Interleaved: device B advances one op after every op of device A.
+	fB, err := cfgB.NewConZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB := &driveState{rng: sim.NewRand(8)}
+	var atB sim.Time
+	interB := make([]sim.Time, 0, ops)
+	interA, telInterA := run(cfgA, 7, func(i int) {
+		atB = driveOne(fB, stB, atB, i)
+		interB = append(interB, atB)
+	})
+	telInterB := telemetry.Collect(fB)
+
+	if !reflect.DeepEqual(soloA, interA) {
+		t.Fatal("device A's completion times change when interleaved with device B")
+	}
+	if !reflect.DeepEqual(soloB, interB) {
+		t.Fatal("device B's completion times change when interleaved with device A")
+	}
+	if telA != telInterA {
+		t.Fatalf("device A telemetry differs interleaved:\nsolo  %+v\ninter %+v", telA, telInterA)
+	}
+	if telB != telInterB {
+		t.Fatalf("device B telemetry differs interleaved:\nsolo  %+v\ninter %+v", telB, telInterB)
+	}
+}
+
+// driveState is one device's driver-side state: its op RNG and tracked
+// zone write pointers.
+type driveState struct {
+	rng *sim.Rand
+	wps []int64
+}
+
+// devHandle is the slice of *ftl.FTL the interleaving test drives.
+type devHandle interface {
+	TotalSectors() int64
+	ZoneCapSectors() int64
+	NumZones() int
+	Write(at sim.Time, lba int64, payloads [][]byte) (sim.Time, error)
+	Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error)
+	ResetZone(at sim.Time, zone int) (sim.Time, error)
+}
+
+// TestConcurrentDevicesBitIdentical runs the same device workload solo
+// and then again while a different device runs concurrently on another
+// goroutine (under -race this also proves no shared mutable state), and
+// asserts the full DeviceResult is bit-identical.
+func TestConcurrentDevicesBitIdentical(t *testing.T) {
+	spec := testSpec(31, 2)
+
+	soloA := runDevice(&spec, 0, 0)
+	soloB := runDevice(&spec, 1, 1)
+
+	var wg sync.WaitGroup
+	var concA, concB DeviceResult
+	wg.Add(2)
+	go func() { defer wg.Done(); concA = runDevice(&spec, 0, 0) }()
+	go func() { defer wg.Done(); concB = runDevice(&spec, 1, 1) }()
+	wg.Wait()
+
+	for _, c := range []struct {
+		name       string
+		solo, conc *DeviceResult
+	}{{"A", &soloA, &concA}, {"B", &soloB, &concB}} {
+		if !reflect.DeepEqual(c.solo.Params, c.conc.Params) {
+			t.Errorf("device %s params differ under concurrency", c.name)
+		}
+		if c.solo.Telemetry != c.conc.Telemetry {
+			t.Errorf("device %s telemetry differs under concurrency", c.name)
+		}
+		if c.solo.Workload.Ops != c.conc.Workload.Ops ||
+			c.solo.Workload.Bytes != c.conc.Workload.Bytes ||
+			c.solo.Workload.Elapsed != c.conc.Workload.Elapsed ||
+			c.solo.Workload.Lat != c.conc.Workload.Lat {
+			t.Errorf("device %s workload result differs under concurrency", c.name)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/conzone/conzone/internal/telemetry"
+)
+
+// Reporting. Everything written here is a pure function of the merged
+// Result: no wall-clock time, no worker count, no map iteration — the
+// fleet determinism pin (byte-identical output across runs and pool sizes)
+// hashes these bytes.
+
+// WriteReport writes the human-readable population report: one row per
+// cohort plus the whole-fleet row.
+func (r *Result) WriteReport(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: seed=%d devices=%d cohorts=%d\n",
+		r.Spec.Seed, r.Fleet.Devices, len(r.Cohorts))
+	fmt.Fprintf(&b, "%-12s %8s %6s %6s %6s %10s %12s %8s  %-42s %8s\n",
+		"cohort", "devices", "fail", "plost", "rdonly", "ops", "bytes", "ioerr",
+		"latency p50/p99/p99.9/max", "waf")
+	rows := make([]*CohortResult, 0, len(r.Cohorts)+1)
+	for i := range r.Cohorts {
+		rows = append(rows, &r.Cohorts[i])
+	}
+	rows = append(rows, &r.Fleet)
+	for _, c := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %6d %6d %6d %10d %12d %8d  %-42s %8.4f\n",
+			c.Name, c.Devices, c.Failed, c.PowerLost, c.ReadOnly,
+			c.Ops, c.Bytes, c.IOErrors,
+			latCell(c), c.Telemetry.WAF)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func latCell(c *CohortResult) string {
+	if c.Lat.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s",
+		fmtDur(c.Lat.P50), fmtDur(c.Lat.P99), fmtDur(c.Lat.P999), fmtDur(c.Lat.Max))
+}
+
+// fmtDur renders a duration with microsecond precision — stable across
+// value magnitudes, unlike Duration.String()'s adaptive units.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fus", float64(d)/float64(time.Microsecond))
+}
+
+// WriteMetrics writes the Prometheus exposition: fleet-level population
+// gauges per cohort, then every telemetry counter with per-cohort labels
+// plus the unlabeled-equivalent fleet sum (cohort="fleet").
+func (r *Result) WriteMetrics(w io.Writer) error {
+	var b strings.Builder
+	rows := make([]*CohortResult, 0, len(r.Cohorts)+1)
+	for i := range r.Cohorts {
+		rows = append(rows, &r.Cohorts[i])
+	}
+	rows = append(rows, &r.Fleet)
+
+	pop := []struct {
+		name, help string
+		val        func(*CohortResult) string
+	}{
+		{"conzone_fleet_devices", "Devices simulated.",
+			func(c *CohortResult) string { return fmt.Sprintf("%d", c.Devices) }},
+		{"conzone_fleet_devices_failed", "Devices that failed to build or run.",
+			func(c *CohortResult) string { return fmt.Sprintf("%d", c.Failed) }},
+		{"conzone_fleet_devices_power_lost", "Devices whose power cut fired.",
+			func(c *CohortResult) string { return fmt.Sprintf("%d", c.PowerLost) }},
+		{"conzone_fleet_devices_read_only", "Devices that ended read-only.",
+			func(c *CohortResult) string { return fmt.Sprintf("%d", c.ReadOnly) }},
+		{"conzone_fleet_io_errors", "Failed host operations.",
+			func(c *CohortResult) string { return fmt.Sprintf("%d", c.IOErrors) }},
+		{"conzone_fleet_lat_p50_seconds", "Population median latency.",
+			func(c *CohortResult) string { return fmtSeconds(c.Lat.P50) }},
+		{"conzone_fleet_lat_p99_seconds", "Population p99 latency.",
+			func(c *CohortResult) string { return fmtSeconds(c.Lat.P99) }},
+		{"conzone_fleet_lat_p999_seconds", "Population p99.9 latency.",
+			func(c *CohortResult) string { return fmtSeconds(c.Lat.P999) }},
+	}
+	for _, m := range pop {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", m.name, m.help, m.name)
+		for _, c := range rows {
+			fmt.Fprintf(&b, "%s{cohort=%q} %s\n", m.name, c.Name, m.val(c))
+		}
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+
+	sets := make([]telemetry.LabeledStats, 0, len(rows))
+	for _, c := range rows {
+		sets = append(sets, telemetry.LabeledStats{
+			Labels: fmt.Sprintf("cohort=%q", c.Name),
+			Stats:  c.Telemetry,
+		})
+	}
+	return telemetry.WritePrometheusLabeled(w, sets)
+}
+
+func fmtSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.9f", d.Seconds())
+}
+
+// Digest returns the SHA-256 over the report and metrics bytes — the value
+// the determinism tests and the CI fleet smoke pin. Two runs of the same
+// spec must produce the same digest at any worker count.
+func (r *Result) Digest() string {
+	h := sha256.New()
+	_ = r.WriteReport(h)
+	_ = r.WriteMetrics(h)
+	return hex.EncodeToString(h.Sum(nil))
+}

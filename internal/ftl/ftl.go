@@ -130,6 +130,13 @@ type Params struct {
 	// (internal/fault). nil — the default — means the media never fails
 	// and the fault bookkeeping stays entirely off the I/O paths.
 	Faults *fault.Config
+
+	// PreWearErases ages every NAND block by this many erase cycles at
+	// construction, modelling a used device (fleet population studies vary
+	// it per device). Wear reports start from the aged baseline and a
+	// wear-coupled fault model fails more often from the first operation.
+	// 0 — the default — builds a factory-fresh device.
+	PreWearErases int64
 }
 
 // Stats aggregates the FTL-level counters on top of the substrate stats.
@@ -335,6 +342,10 @@ func New(geo nand.Geometry, lat nand.LatencyTable, p Params) (*FTL, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pre-aging applies to the freshly built media only: NewWithArray also
+	// serves the recovery path, where the surviving array must not be aged
+	// again on every remount.
+	arr.PreWear(p.PreWearErases)
 	return NewWithArray(arr, p)
 }
 
@@ -460,6 +471,8 @@ func validateParams(geo nand.Geometry, p Params) error {
 	case p.SpareSuperblocks >= geo.NormalBlocks():
 		return fmt.Errorf("ftl: %d spare superblocks leave no zones of %d normal blocks",
 			p.SpareSuperblocks, geo.NormalBlocks())
+	case p.PreWearErases < 0:
+		return fmt.Errorf("ftl: negative PreWearErases %d", p.PreWearErases)
 	}
 	if p.Faults != nil {
 		if err := p.Faults.Validate(); err != nil {

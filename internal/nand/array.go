@@ -149,6 +149,23 @@ func (a *Array) EraseCount(chip, block int) int64 {
 	return a.blocks[chip][block].eraseCount
 }
 
+// PreWear ages every block of the array by the given erase count, as if the
+// device had already lived through that many program/erase cycles. It models
+// a used consumer device entering an experiment: wear reports start from the
+// aged baseline and a wear-coupled fault injector sees the elevated counts
+// from the first operation. Media contents are untouched. Negative values
+// are ignored.
+func (a *Array) PreWear(erases int64) {
+	if erases <= 0 {
+		return
+	}
+	for c := range a.blocks {
+		for b := range a.blocks[c] {
+			a.blocks[c][b].eraseCount += erases
+		}
+	}
+}
+
 func (a *Array) checkAddr(chip, block int) error {
 	if chip < 0 || chip >= a.geo.Chips() {
 		return fmt.Errorf("nand: chip %d out of range [0,%d)", chip, a.geo.Chips())

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// Property tests for the two fleet-merge primitives: Histogram.Merge and
+// Summary.Merge must be order-independent, and merging an empty or single
+// operand must be lossless — the guarantees fleet determinism across
+// worker-pool sizes rests on.
+
+// randomHist records n durations drawn across the histogram's whole
+// dynamic range (sub-microsecond to seconds).
+func randomHist(r *sim.Rand, n int) *Histogram {
+	h := NewHistogram()
+	for i := 0; i < n; i++ {
+		mag := r.Int63n(9) // 10^0 .. 10^8 ns
+		d := time.Duration(1+r.Int63n(9)) * time.Duration(math.Pow10(int(mag)))
+		h.Record(d)
+	}
+	return h
+}
+
+// shuffle permutes indices with a seeded RNG (Fisher–Yates).
+func shuffle(r *sim.Rand, n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Int63n(int64(i + 1))
+		idx[i], idx[int(j)] = idx[int(j)], idx[i]
+	}
+	return idx
+}
+
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	r := sim.NewRand(42)
+	const parts = 12
+	hists := make([]*Histogram, parts)
+	for i := range hists {
+		hists[i] = randomHist(r, 50+int(r.Int63n(200)))
+	}
+
+	mergeAll := func(order []int) Summary {
+		m := NewHistogram()
+		for _, i := range order {
+			m.Merge(hists[i])
+		}
+		return m.Summarize()
+	}
+
+	inOrder := make([]int, parts)
+	for i := range inOrder {
+		inOrder[i] = i
+	}
+	want := mergeAll(inOrder)
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		got := mergeAll(shuffle(r, parts))
+		if got != want {
+			t.Fatalf("shuffled merge order changed the summary:\nwant %+v\ngot  %+v", want, got)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("shuffled merge order changed the JSON form:\n%s\n%s", wantJSON, gotJSON)
+		}
+	}
+
+	// Tree-shaped merges (pairwise, like a cohort-then-fleet fold) must
+	// agree with the flat fold.
+	left, right := NewHistogram(), NewHistogram()
+	for i, h := range hists {
+		if i%2 == 0 {
+			left.Merge(h)
+		} else {
+			right.Merge(h)
+		}
+	}
+	left.Merge(right)
+	if got := left.Summarize(); got != want {
+		t.Fatalf("tree merge disagrees with flat merge:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestHistogramMergeEmptyIdentity(t *testing.T) {
+	r := sim.NewRand(7)
+	h := randomHist(r, 300)
+	want := h.Summarize()
+
+	h.Merge(NewHistogram())
+	if got := h.Summarize(); got != want {
+		t.Fatalf("merging an empty histogram changed the summary: %+v -> %+v", want, got)
+	}
+
+	empty := NewHistogram()
+	empty.Merge(h)
+	if got := empty.Summarize(); got != want {
+		t.Fatalf("merging into an empty histogram lost data: %+v vs %+v", want, got)
+	}
+}
+
+func TestSummaryMergeIdentity(t *testing.T) {
+	r := sim.NewRand(11)
+	s := randomHist(r, 120).Summarize()
+	var empty Summary
+
+	if got := s.Merge(empty); !reflect.DeepEqual(got, s) {
+		t.Fatalf("Merge(empty) not an identity: %+v -> %+v", s, got)
+	}
+	if got := empty.Merge(s); !reflect.DeepEqual(got, s) {
+		t.Fatalf("empty.Merge(s) not an identity: %+v -> %+v", s, got)
+	}
+	if got := empty.Merge(empty); !reflect.DeepEqual(got, empty) {
+		t.Fatalf("empty.Merge(empty) non-zero: %+v", got)
+	}
+}
+
+func TestSummaryMergeProperties(t *testing.T) {
+	r := sim.NewRand(13)
+	const parts = 8
+	sums := make([]Summary, parts)
+	var hists []*Histogram
+	for i := range sums {
+		h := randomHist(r, 30+int(r.Int63n(100)))
+		hists = append(hists, h)
+		sums[i] = h.Summarize()
+	}
+
+	fold := func(order []int) Summary {
+		var m Summary
+		for _, i := range order {
+			m = m.Merge(sums[i])
+		}
+		return m
+	}
+	inOrder := make([]int, parts)
+	for i := range inOrder {
+		inOrder[i] = i
+	}
+	want := fold(inOrder)
+	for trial := 0; trial < 20; trial++ {
+		if got := fold(shuffle(r, parts)); got != want {
+			t.Fatalf("shuffled Summary.Merge order changed the result:\nwant %+v\ngot  %+v", want, got)
+		}
+	}
+
+	// The exactly-mergeable fields must agree with the ground truth from
+	// merging the underlying histograms.
+	all := NewHistogram()
+	for _, h := range hists {
+		all.Merge(h)
+	}
+	truth := all.Summarize()
+	if want.Count != truth.Count || want.Sum != truth.Sum ||
+		want.Min != truth.Min || want.Max != truth.Max || want.Mean != truth.Mean {
+		t.Fatalf("lossless fields diverge from histogram ground truth:\nmerge %+v\ntruth %+v", want, truth)
+	}
+	// Merged percentiles are an upper bound on each part's percentiles
+	// (field-wise max), never below any operand.
+	for i, s := range sums {
+		if want.P50 < s.P50 || want.P95 < s.P95 || want.P99 < s.P99 || want.P999 < s.P999 {
+			t.Fatalf("merged percentile below operand %d: %+v vs %+v", i, want, s)
+		}
+	}
+}

@@ -111,28 +111,28 @@ func jsonName(f reflect.StructField) string {
 	return snakeCase(f.Name)
 }
 
-// WritePrometheus writes the unified snapshot in the Prometheus text
-// exposition format (version 0.0.4). Integer counter fields become
-// conzone_<group>_<field>_total counters; float ratios, booleans and the
-// occupancy block become gauges. The walk is reflective so every field of
-// every subsystem's Stats — including the fault, bad-block and power-loss
-// counters — is exported by construction.
-func (s Stats) WritePrometheus(w io.Writer) error {
-	var err error
-	p := func(format string, args ...any) {
-		if err == nil {
-			_, err = fmt.Fprintf(w, format, args...)
-		}
+// promMetric is one resolved sample of a snapshot walk: final metric name
+// (the _total suffix already applied), Prometheus type, and value.
+type promMetric struct {
+	name    string
+	typ     string // "counter" or "gauge"
+	isFloat bool
+	intVal  int64
+	fltVal  float64
+}
+
+// promMetrics flattens the unified snapshot into exportable samples.
+// Integer counter fields become conzone_<group>_<field>_total counters;
+// float ratios, booleans and the occupancy block become gauges. The walk is
+// reflective so every field of every subsystem's Stats — including the
+// fault, bad-block and power-loss counters — is exported by construction.
+func (s Stats) promMetrics() []promMetric {
+	var out []promMetric
+	addInt := func(name, typ string, v int64) {
+		out = append(out, promMetric{name: name, typ: typ, intVal: v})
 	}
-	emitInt := func(name, typ string, v int64) {
-		p("# HELP %s Unified device snapshot field %s.\n", name, name)
-		p("# TYPE %s %s\n", name, typ)
-		p("%s %d\n", name, v)
-	}
-	emitFloat := func(name string, v float64) {
-		p("# HELP %s Unified device snapshot field %s.\n", name, name)
-		p("# TYPE %s gauge\n", name)
-		p("%s %g\n", name, v)
+	addFloat := func(name string, v float64) {
+		out = append(out, promMetric{name: name, typ: "gauge", isFloat: true, fltVal: v})
 	}
 
 	v := reflect.ValueOf(s)
@@ -153,24 +153,77 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 				switch sub.Kind() {
 				case reflect.Int64, reflect.Int:
 					if gauge {
-						emitInt(name, "gauge", sub.Int())
+						addInt(name, "gauge", sub.Int())
 					} else {
-						emitInt(name+"_total", "counter", sub.Int())
+						addInt(name+"_total", "counter", sub.Int())
 					}
 				case reflect.Float64:
-					emitFloat(name, sub.Float())
+					addFloat(name, sub.Float())
 				case reflect.Bool:
 					var b int64
 					if sub.Bool() {
 						b = 1
 					}
-					emitInt(name, "gauge", b)
+					addInt(name, "gauge", b)
 				}
 			}
 		case reflect.Int64, reflect.Int:
-			emitInt(base+"_total", "counter", fv.Int())
+			addInt(base+"_total", "counter", fv.Int())
 		case reflect.Float64:
-			emitFloat(base, fv.Float())
+			addFloat(base, fv.Float())
+		}
+	}
+	return out
+}
+
+// WritePrometheus writes the unified snapshot in the Prometheus text
+// exposition format (version 0.0.4). See promMetrics for the naming rules.
+func (s Stats) WritePrometheus(w io.Writer) error {
+	return WritePrometheusLabeled(w, []LabeledStats{{Stats: s}})
+}
+
+// LabeledStats pairs a snapshot with a Prometheus label set, e.g.
+// `cohort="worn-qlc"` (no surrounding braces). Fleet exports use one entry
+// per cohort plus the grand total.
+type LabeledStats struct {
+	Labels string
+	Stats  Stats
+}
+
+// WritePrometheusLabeled writes many labelled snapshots as one valid
+// exposition: samples are grouped metric-major (one HELP/TYPE header per
+// metric, then one labelled sample per snapshot), which is what Prometheus
+// requires and what a single-device WritePrometheus degenerates to.
+func WritePrometheusLabeled(w io.Writer, sets []LabeledStats) error {
+	if len(sets) == 0 {
+		return nil
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	walks := make([][]promMetric, len(sets))
+	for i, set := range sets {
+		walks[i] = set.Stats.promMetrics()
+	}
+	// Every walk of the same Stats type yields the same metric sequence;
+	// iterate it once and emit each metric's samples across all label sets.
+	for m := range walks[0] {
+		p("# HELP %s Unified device snapshot field %s.\n", walks[0][m].name, walks[0][m].name)
+		p("# TYPE %s %s\n", walks[0][m].name, walks[0][m].typ)
+		for i := range sets {
+			met := walks[i][m]
+			name := met.name
+			if sets[i].Labels != "" {
+				name += "{" + sets[i].Labels + "}"
+			}
+			if met.isFloat {
+				p("%s %g\n", name, met.fltVal)
+			} else {
+				p("%s %d\n", name, met.intVal)
+			}
 		}
 	}
 	return err

@@ -244,5 +244,6 @@ func runAsync(dev Async, job Job) (Result, error) {
 		BandwidthMiBps: units.BandwidthMiBps(totalBytes, elapsed),
 		IOPS:           units.IOPS(totalOps, elapsed),
 		Lat:            lat.Summarize(),
+		Hist:           lat,
 	}, nil
 }

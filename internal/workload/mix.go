@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// MixEntry is one weighted job template inside a Mix.
+type MixEntry struct {
+	// Weight is the entry's relative selection weight (> 0).
+	Weight int64
+	// Job is the template handed out when the entry is picked. Device- and
+	// seed-specific fields (region, Seed) are typically filled in by the
+	// caller after selection.
+	Job Job
+}
+
+// Mix is a weighted set of job templates: the population analogue of an fio
+// job file. A fleet assigns each device one job drawn from the cohort's mix
+// with a device-specific RNG, so the draw is a pure function of the seed —
+// the same device index always runs the same job, at any worker count.
+type Mix []MixEntry
+
+// Validate rejects empty mixes and non-positive weights. Job templates are
+// not validated here: region fields are usually filled per device, so
+// Job.Validate only makes sense once a concrete device is known.
+func (m Mix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("workload: empty mix")
+	}
+	for i, e := range m {
+		if e.Weight <= 0 {
+			return fmt.Errorf("workload: mix entry %d (%s) has non-positive weight %d",
+				i, e.Job.Name, e.Weight)
+		}
+	}
+	return nil
+}
+
+// Pick draws one entry by weight using the given deterministic RNG and
+// returns the selected job template and its index. It consumes exactly one
+// RNG value, so callers can derive further per-device streams from the same
+// generator without the draw count depending on the mix shape.
+func (m Mix) Pick(r *sim.Rand) (Job, int) {
+	var total int64
+	for _, e := range m {
+		total += e.Weight
+	}
+	if total <= 0 {
+		return Job{}, -1
+	}
+	x := r.Int63n(total)
+	for i, e := range m {
+		x -= e.Weight
+		if x < 0 {
+			return e.Job, i
+		}
+	}
+	// Unreachable with positive weights; keep the compiler satisfied.
+	return m[len(m)-1].Job, len(m) - 1
+}

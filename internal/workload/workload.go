@@ -41,12 +41,17 @@ type ZoneFlusher interface {
 // Pattern is the access pattern of a job.
 type Pattern int
 
-// Supported patterns, mirroring fio's rw= values.
+// Supported patterns, mirroring fio's rw= values. ZoneRandWrite is the
+// zoned analogue of randwrite: each operation picks a random zone of the
+// thread's slice and appends at that zone's write pointer (resetting a full
+// zone first), the way fio's zonemode=zbd randomizes writes on a device
+// that only accepts sequential-in-zone writes.
 const (
 	SeqWrite Pattern = iota
 	SeqRead
 	RandRead
 	RandWrite
+	ZoneRandWrite
 )
 
 // String names the pattern as fio would.
@@ -60,13 +65,17 @@ func (p Pattern) String() string {
 		return "randread"
 	case RandWrite:
 		return "randwrite"
+	case ZoneRandWrite:
+		return "zonerandwrite"
 	default:
 		return fmt.Sprintf("Pattern(%d)", int(p))
 	}
 }
 
 // IsWrite reports whether the pattern issues writes.
-func (p Pattern) IsWrite() bool { return p == SeqWrite || p == RandWrite }
+func (p Pattern) IsWrite() bool {
+	return p == SeqWrite || p == RandWrite || p == ZoneRandWrite
+}
 
 // Job describes one micro-benchmark, fio-style.
 type Job struct {
@@ -161,6 +170,18 @@ func (j *Job) Validate(dev Device) error {
 	case j.QueueDepth > 1 && j.SyncWrites:
 		return fmt.Errorf("workload: SyncWrites (O_SYNC) cannot run at queue depth %d", j.QueueDepth)
 	}
+	if j.Pattern == ZoneRandWrite {
+		z, ok := dev.(Zoned)
+		if !ok {
+			return fmt.Errorf("workload: zonerandwrite needs a zoned device, %T is not", dev)
+		}
+		if len(j.ThreadOffsets) > 0 {
+			return fmt.Errorf("workload: zonerandwrite does not support ThreadOffsets (zone ownership would overlap)")
+		}
+		if zb := z.ZoneCapSectors() * units.Sector; j.OffsetBytes%zb != 0 {
+			return fmt.Errorf("workload: zonerandwrite offset %d not aligned to zone bytes %d", j.OffsetBytes, zb)
+		}
+	}
 	return nil
 }
 
@@ -183,6 +204,12 @@ type Result struct {
 	BandwidthMiBps float64
 	IOPS           float64
 	Lat            stats.Summary
+
+	// Hist is the full latency histogram behind Lat. Population harnesses
+	// (internal/fleet) merge per-device histograms before summarizing, so
+	// cross-device percentiles are exact rather than a bound over per-device
+	// summaries. Excluded from JSON renderings of the result.
+	Hist *stats.Histogram `json:"-"`
 }
 
 // KIOPS returns IOPS in thousands, as the paper's Figs. 7-8 report.
@@ -210,6 +237,11 @@ type thread struct {
 	wrapped   bool  // sequential position looped back to seqStart
 	rng       *sim.Rand
 	doneAtSim sim.Time
+
+	// wps tracks per-zone write positions (byte offset within the zone)
+	// for ZoneRandWrite, indexed by zone relative to the thread's slice.
+	// Each thread owns a disjoint zone range, so positions never race.
+	wps []int64
 }
 
 // next generates the thread's next operation: its start LBA, its byte
@@ -245,6 +277,27 @@ func (th *thread) next(job *Job, zdev Zoned) (lba, opBytes int64, resetZone int)
 	case RandRead, RandWrite:
 		blocks := job.RangeBytes / job.BlockBytes
 		lba = (job.OffsetBytes + th.rng.Int63n(blocks)*job.BlockBytes) / units.Sector
+	case ZoneRandWrite:
+		// Zoned random write: a random zone of the thread's slice, at that
+		// zone's tracked write position; a full zone is reset first and
+		// rewritten from its start. Validate pinned zdev != nil and the
+		// slice to whole zones.
+		zb := zdev.ZoneCapSectors() * units.Sector
+		zones := (th.seqEnd - th.seqStart) / zb
+		if th.wps == nil {
+			th.wps = make([]int64, zones)
+		}
+		zi := th.rng.Int63n(zones)
+		if th.wps[zi] >= zb {
+			th.wps[zi] = 0
+			resetZone = int((th.seqStart + zi*zb) / zb)
+		}
+		pos := th.seqStart + zi*zb + th.wps[zi]
+		if remain := zb - th.wps[zi]; opBytes > remain {
+			opBytes = remain
+		}
+		lba = pos / units.Sector
+		th.wps[zi] += opBytes
 	}
 	return lba, opBytes, resetZone
 }
@@ -259,12 +312,16 @@ func makeThreads(job *Job, zoneBytes int64) ([]*thread, error) {
 			th.seqEnd = job.OffsetBytes + job.RangeBytes
 		} else {
 			slice := job.RangeBytes / int64(job.NumJobs)
-			if job.Pattern == SeqWrite && zoneBytes > 0 {
-				// Zoned sequential writers must start at a zone's write
-				// pointer, so thread slices are zone-aligned (as fio's
-				// zonemode=zbd job splitting requires); boundary clamping
-				// keeps every write inside its zone.
+			if (job.Pattern == SeqWrite || job.Pattern == ZoneRandWrite) && zoneBytes > 0 {
+				// Zoned writers must start at a zone's write pointer, so
+				// thread slices are zone-aligned (as fio's zonemode=zbd job
+				// splitting requires); boundary clamping keeps every write
+				// inside its zone, and zonerandwrite threads own disjoint
+				// whole zones.
 				slice = units.AlignDown(slice, zoneBytes)
+				if job.Pattern == ZoneRandWrite && slice < zoneBytes {
+					return nil, fmt.Errorf("workload: zonerandwrite needs at least one zone per thread")
+				}
 			} else {
 				slice = units.AlignDown(slice, job.BlockBytes)
 			}
@@ -457,6 +514,7 @@ func Run(dev Device, job Job) (Result, error) {
 		BandwidthMiBps: units.BandwidthMiBps(totalBytes, elapsed),
 		IOPS:           units.IOPS(totalOps, elapsed),
 		Lat:            lat.Summarize(),
+		Hist:           lat,
 	}, nil
 }
 
