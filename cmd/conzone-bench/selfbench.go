@@ -38,12 +38,35 @@ type selfBenchReport struct {
 	Results   []selfBenchResult `json:"results"`
 }
 
+// runBenchmark measures one spec through testing.Benchmark and folds the
+// result into the baseline schema.
+func runBenchmark(spec emubench.Spec) selfBenchResult {
+	res := testing.Benchmark(emubench.Bench(spec))
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	mibps := 0.0
+	if nsPerOp > 0 {
+		// One workload step moves one 4 KiB sector.
+		mibps = float64(units.Sector) / nsPerOp * 1e9 / float64(units.MiB)
+	}
+	return selfBenchResult{
+		Name:        spec.Name(),
+		Iterations:  res.N,
+		NsPerOp:     nsPerOp,
+		MiBPerSec:   mibps,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
 // runSelfBench measures the emulator's own wall-clock throughput: every
 // emubench spec (seqwrite, randread, randwrite, gcheavy at QD 1 and 16) is
 // run through testing.Benchmark, printed as a table, and optionally written
-// to jsonPath as the machine-readable baseline.
-func runSelfBench(jsonPath string) error {
-	report := selfBenchReport{
+// to jsonPath as the machine-readable baseline. shards, when non-zero,
+// overrides the device's read-shard count for every spec (the benchmark
+// names then carry a /shardsN suffix, so such a run is never mistaken for
+// the canonical baseline family).
+func runSelfBench(jsonPath string, shards int) (*selfBenchReport, error) {
+	report := &selfBenchReport{
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -53,39 +76,26 @@ func runSelfBench(jsonPath string) error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\titers\tns/op\tMiB/s\tB/op\tallocs/op")
 	for _, spec := range emubench.Specs() {
-		res := testing.Benchmark(emubench.Bench(spec))
-		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
-		mibps := 0.0
-		if nsPerOp > 0 {
-			// One workload step moves one 4 KiB sector.
-			mibps = float64(units.Sector) / nsPerOp * 1e9 / float64(units.MiB)
-		}
-		r := selfBenchResult{
-			Name:        spec.Name(),
-			Iterations:  res.N,
-			NsPerOp:     nsPerOp,
-			MiBPerSec:   mibps,
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-		}
+		spec.Shards = shards
+		r := runBenchmark(spec)
 		report.Results = append(report.Results, r)
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%d\t%d\n",
 			r.Name, r.Iterations, r.NsPerOp, r.MiBPerSec, r.BytesPerOp, r.AllocsPerOp)
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return nil, err
 	}
 
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		buf = append(buf, '\n')
 		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
-	return nil
+	return report, nil
 }

@@ -26,18 +26,30 @@ import (
 
 // Spec names one point of the throughput benchmark family.
 type Spec struct {
-	Workload string // "seqwrite", "randread", "randwrite" or "gcheavy"
+	Workload string // "seqwrite", "randread", "burstread", "randwrite" or "gcheavy"
 	QD       int    // outstanding commands the driver keeps in flight
+
+	// Shards overrides the device's read-shard count (ftl.Params.Shards):
+	// 0 keeps the config default (auto, one shard per channel), 1 forces
+	// the sequential path, N>1 asks for N shards. Used by the shard-count
+	// scaling sweep; the canonical baseline family leaves it 0.
+	Shards int
 }
 
-// Name returns the benchmark sub-name, e.g. "randread/qd16".
-func (s Spec) Name() string { return fmt.Sprintf("%s/qd%d", s.Workload, s.QD) }
+// Name returns the benchmark sub-name, e.g. "randread/qd16". A shard
+// override is part of the name, so baseline entries stay stable.
+func (s Spec) Name() string {
+	if s.Shards != 0 {
+		return fmt.Sprintf("%s/qd%d/shards%d", s.Workload, s.QD, s.Shards)
+	}
+	return fmt.Sprintf("%s/qd%d", s.Workload, s.QD)
+}
 
 // Specs returns the canonical benchmark family: every workload at queue
 // depths 1 and 16.
 func Specs() []Spec {
 	var out []Spec
-	for _, w := range []string{"seqwrite", "randread", "randwrite", "gcheavy"} {
+	for _, w := range []string{"seqwrite", "randread", "burstread", "randwrite", "gcheavy"} {
 		for _, qd := range []int{1, 16} {
 			out = append(out, Spec{Workload: w, QD: qd})
 		}
@@ -97,18 +109,28 @@ type runner struct {
 	// alias it.
 	nilPayload [][]byte
 
-	// databuf is the bump arena for data-carrying write payloads. The
+	// databuf is the rotating arena for data-carrying write payloads and
+	// dataConts the matching ring of one-sector payload containers. The
 	// device retains a write's payload slices until the data reaches media
 	// (the volatile write buffer holds references, per the Write contract),
-	// so storage is never reused; consumed slabs become garbage once their
-	// data is flushed. See dataPayload.
-	databuf []byte
+	// so a slot may only be reused once its data has certainly been flushed.
+	// Retention is bounded by the write buffers' total capacity plus the
+	// commands still in flight — far below the ring sizes used — so rotation
+	// keeps the steady-state driver allocation-free without ever handing the
+	// device a slice it still holds. See dataPayload.
+	databuf   []byte
+	dataOff   int64
+	dataConts [][][]byte
+	dataNext  int
 }
 
 // newRunner builds a small device, applies the workload's prefill, and
 // returns a driver positioned at steady state.
 func newRunner(tb testing.TB, spec Spec) *runner {
 	cfg := config.Small()
+	if spec.Shards != 0 {
+		cfg.FTL.Shards = spec.Shards
+	}
 	f, err := ftl.New(cfg.Geometry, cfg.Latency, cfg.FTL)
 	if err != nil {
 		tb.Fatalf("emubench: build FTL: %v", err)
@@ -134,7 +156,7 @@ func newRunner(tb testing.TB, spec Spec) *runner {
 	r.rec, _ = any(ctrl).(recycler)
 	r.sbCap = f.Geometry().SuperblockBytes() / units.Sector
 
-	if spec.Workload == "randread" {
+	if spec.Workload == "randread" || spec.Workload == "burstread" {
 		// Prefill every zone's head region (full program units, no SLC
 		// detours) so random reads hit programmed, mapped media.
 		pu := f.Geometry().ProgramUnit / units.Sector
@@ -195,17 +217,31 @@ func (r *runner) submit(req host.Request) {
 }
 
 // dataPayload returns a one-sector payload carrying real bytes. Storage is
-// carved from a bump-allocated arena slab so the per-op cost is a copy-free
-// slice header, matching how a real host would hand over its own buffers.
+// carved from a rotating arena — the per-op cost is a copy-free slice
+// header, matching how a real host cycles through its own pinned buffer
+// pool — and the payload container comes from a ring sized well past the
+// submission window, so neither is ever reused while the device may still
+// reference it (see the databuf field comment for the retention bound).
 func (r *runner) dataPayload(lba int64) [][]byte {
-	if int64(len(r.databuf)) < units.Sector {
-		r.databuf = make([]byte, 256*units.Sector)
+	const arenaSlots = 256
+	if r.databuf == nil {
+		r.databuf = make([]byte, arenaSlots*units.Sector)
+		r.dataConts = make([][][]byte, arenaSlots)
+		for i := range r.dataConts {
+			r.dataConts[i] = make([][]byte, 1)
+		}
 	}
-	s := r.databuf[:units.Sector:units.Sector]
-	r.databuf = r.databuf[units.Sector:]
+	if r.dataOff+units.Sector > int64(len(r.databuf)) {
+		r.dataOff = 0
+	}
+	s := r.databuf[r.dataOff : r.dataOff+units.Sector : r.dataOff+units.Sector]
+	r.dataOff += units.Sector
 	s[0] = byte(lba)
 	s[len(s)-1] = byte(lba >> 8)
-	return [][]byte{s}
+	p := r.dataConts[r.dataNext]
+	r.dataNext = (r.dataNext + 1) % arenaSlots
+	p[0] = s
+	return p
 }
 
 // step issues one workload operation (plus any bookkeeping commands it
@@ -227,6 +263,18 @@ func (r *runner) step() {
 			r.seqZone = (r.seqZone + 1) % r.numZones
 		}
 	case "randread":
+		zone := r.rng.Intn(r.numZones)
+		lba := int64(zone)*r.zoneCap + r.rng.Int63n(r.sbCap)
+		r.submit(host.Request{Op: host.OpRead, LBA: lba, N: 1})
+	case "burstread":
+		// Random reads submitted QD at a time with no polling in between —
+		// the doorbell-batching shape of a host that rings once per batch.
+		// Back-to-back reads take the channel-sharded staging path, so this
+		// is the workload where the parallel executor (and, at GOMAXPROCS 1,
+		// its inline fallback) carries the whole read stream.
+		if r.inflight >= r.qd {
+			r.drain()
+		}
 		zone := r.rng.Intn(r.numZones)
 		lba := int64(zone)*r.zoneCap + r.rng.Int63n(r.sbCap)
 		r.submit(host.Request{Op: host.OpRead, LBA: lba, N: 1})

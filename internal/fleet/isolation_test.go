@@ -12,9 +12,9 @@ import (
 
 // Device-isolation audit (fleet prerequisite). The repo's package-level
 // state is limited to immutable tables (error sentinels, name arrays,
-// refdata constants) and nand's sync.Pool of payload slabs, whose contents
-// are never semantic — so two devices in one process must behave exactly
-// like one device each in two processes. These tests pin that.
+// refdata constants); even nand's payload-slab freelist is per-Array — so
+// two devices in one process must behave exactly like one device each in
+// two processes. These tests pin that.
 
 // TestInterleavedDevicesBitIdentical drives two different devices
 // strictly alternately — one operation each, in one goroutine, in one

@@ -24,6 +24,8 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 
 	"github.com/conzone/conzone/internal/fault"
 	"github.com/conzone/conzone/internal/l2pcache"
@@ -137,6 +139,15 @@ type Params struct {
 	// wear-coupled fault model fails more often from the first operation.
 	// 0 — the default — builds a factory-fresh device.
 	PreWearErases int64
+
+	// Shards selects channel-sharded read execution (internal/nand
+	// ReadSharder): host reads are staged, their sim reservations run on
+	// per-channel shards, and results merge deterministically back in
+	// submission order — bit-identical to sequential execution at any
+	// shard count and GOMAXPROCS. 0 (the default) auto-selects one shard
+	// per channel; 1 disables staging entirely (the pure sequential
+	// path); N>1 uses min(N, channels) shards.
+	Shards int
 }
 
 // Stats aggregates the FTL-level counters on top of the substrate stats.
@@ -252,6 +263,23 @@ type FTL struct {
 	spp        int // sectors per page
 	pagesPerPU int
 
+	// Hot-path address-translation acceleration, derived once at build time.
+	// The read path resolves every sector through psnLoc/headLoc, and 64-bit
+	// divisions dominate that math on modern cores — a superblock-offset
+	// lookup table and shift/mask fast paths for pow2 zone capacities remove
+	// all of them from the steady state.
+	firstNormal int         // geo.FirstNormalBlock()
+	headTab     []headEntry // head-region zone offset -> (chip, page, sector)
+	zoneShift   uint        // psn>>zoneShift == psn/zoneCap when zonePow2
+	zoneMask    int64       // psn&zoneMask == psn%zoneCap when zonePow2
+	zonePow2    bool
+	mapShift    uint // lpa>>mapShift == entry group when mapPow2
+	mapChipMask int64
+	mapPow2     bool
+	ppaBPC      int64 // inline PPAOf multipliers (no geometry copy per call)
+	ppaPPB      int64
+	ppaSPP      int64
+
 	zstate  []zoneState
 	freeSBs []int // normal superblock ids ready for binding
 
@@ -282,6 +310,15 @@ type FTL struct {
 
 	l2pLogPending int64 // mapping updates awaiting an L2P-log flush
 	l2pLogChip    int   // round-robin chip for log programs
+
+	// Channel-sharded read execution (shardread.go). sharder is nil when
+	// Params.Shards == 1; batch holds the staged-but-undrained reads;
+	// procs caches GOMAXPROCS at construction (querying it takes the
+	// scheduler lock, and staleness is harmless — execution strategy
+	// cannot affect results).
+	sharder *nand.ReadSharder
+	batch   readBatch
+	procs   int
 
 	stats Stats
 	obs   *obs.Recorder // nil when observation is off
@@ -374,6 +411,14 @@ func NewWithArray(arr *nand.Array, p Params) (*FTL, error) {
 		f.inj = inj
 		arr.SetFaultInjector(inj)
 	}
+	if p.Shards != 1 {
+		f.sharder = arr.NewReadSharder(p.Shards)
+		f.procs = runtime.GOMAXPROCS(0)
+		// The sharder's parked workers (started lazily on the first
+		// parallel drain) reference the sharder, not the FTL, so the FTL
+		// stays collectable and its finalizer can release them.
+		runtime.SetFinalizer(f, func(f *FTL) { f.sharder.Stop() })
+	}
 	f.zoneCap = f.sbSectors
 	if p.AlignZones {
 		f.zoneCap = units.NextPow2(f.sbSectors)
@@ -443,7 +488,53 @@ func NewWithArray(arr *nand.Array, p Params) (*FTL, error) {
 	}
 	f.bufFlush = make([]flushRing, p.NumWriteBuffers)
 	f.combineBuf = make([][]byte, f.puSectors)
+	f.initAddrFastPaths()
 	return f, nil
+}
+
+// headEntry is one precomputed head-region translation: the chip, in-block
+// page and in-page sector a superblock offset stripes to (see headLoc).
+type headEntry struct {
+	chip, page, sector uint16
+}
+
+// initAddrFastPaths precomputes the translation table and pow2 shortcuts
+// the per-sector read path uses instead of 64-bit division.
+func (f *FTL) initAddrFastPaths() {
+	f.firstNormal = f.geo.FirstNormalBlock()
+	f.headTab = make([]headEntry, f.sbSectors)
+	chips := int64(f.geo.Chips())
+	for off := int64(0); off < f.sbSectors; off++ {
+		k := off / f.puSectors
+		rem := off % f.puSectors
+		f.headTab[off] = headEntry{
+			chip:   uint16(k % chips),
+			page:   uint16((k/chips)*int64(f.pagesPerPU) + rem/int64(f.spp)),
+			sector: uint16(rem % int64(f.spp)),
+		}
+	}
+	if f.zoneCap > 0 && f.zoneCap&(f.zoneCap-1) == 0 {
+		f.zonePow2 = true
+		f.zoneMask = f.zoneCap - 1
+		f.zoneShift = uint(bits.TrailingZeros64(uint64(f.zoneCap)))
+	}
+	eps := units.Sector / f.params.L2PEntryBytes
+	if eps <= 0 {
+		eps = 1
+	}
+	if eps&(eps-1) == 0 && chips&(chips-1) == 0 {
+		f.mapPow2 = true
+		f.mapShift = uint(bits.TrailingZeros64(uint64(eps)))
+		f.mapChipMask = chips - 1
+	}
+	f.ppaBPC = int64(f.geo.BlocksPerChip)
+	f.ppaSPP = int64(f.geo.PPAOf(nand.Addr{Page: 1}))
+	f.ppaPPB = int64(f.geo.PPAOf(nand.Addr{Block: 1})) / f.ppaSPP
+}
+
+// ppaOf is geo.PPAOf without the geometry-struct copy per call.
+func (f *FTL) ppaOf(a nand.Addr) nand.PPA {
+	return nand.PPA(((int64(a.Chip)*f.ppaBPC+int64(a.Block))*f.ppaPPB+int64(a.Page))*f.ppaSPP + int64(a.Sector))
 }
 
 func validateParams(geo nand.Geometry, p Params) error {
@@ -643,16 +734,12 @@ func (f *FTL) headLoc(zone int, off int64) (nand.Addr, error) {
 	if sb < 0 {
 		return nand.Addr{}, errZoneUnbound
 	}
-	k := off / f.puSectors
-	chips := int64(f.geo.Chips())
-	chip := int(k % chips)
-	puInChip := k / chips
-	rem := off % f.puSectors
+	e := f.headTab[off]
 	return nand.Addr{
-		Chip:   chip,
-		Block:  f.geo.FirstNormalBlock() + sb,
-		Page:   int(puInChip)*f.pagesPerPU + int(rem)/f.spp,
-		Sector: int(rem) % f.spp,
+		Chip:   int(e.chip),
+		Block:  f.firstNormal + sb,
+		Page:   int(e.page),
+		Sector: int(e.sector),
 	}, nil
 }
 
@@ -664,8 +751,15 @@ func (f *FTL) psnLoc(psn mapping.PSN) (nand.Addr, error) {
 	if psn >= f.aggLimit {
 		return f.staging.AddrOf(int64(psn - f.aggLimit))
 	}
-	zone := int(int64(psn) / f.zoneCap)
-	off := int64(psn) % f.zoneCap
+	var zone int
+	var off int64
+	if f.zonePow2 {
+		zone = int(int64(psn) >> f.zoneShift)
+		off = int64(psn) & f.zoneMask
+	} else {
+		zone = int(int64(psn) / f.zoneCap)
+		off = int64(psn) % f.zoneCap
+	}
 	if off < f.sbSectors {
 		return f.headLoc(zone, off)
 	}
@@ -679,6 +773,9 @@ func (f *FTL) psnLoc(psn mapping.PSN) (nand.Addr, error) {
 // mapChip returns the chip whose map region holds the translation entry
 // for lpa: translation pages are striped across chips by entry group.
 func (f *FTL) mapChip(lpa int64) int {
+	if f.mapPow2 {
+		return int((lpa >> f.mapShift) & f.mapChipMask)
+	}
 	entriesPerSector := units.Sector / f.params.L2PEntryBytes
 	if entriesPerSector <= 0 {
 		entriesPerSector = 1

@@ -32,6 +32,9 @@ func (f *FTL) Read(at sim.Time, lba, n int64) ([][]byte, sim.Time, error) {
 // return. It is the allocation-free path the host interface uses for
 // steady-state reads.
 func (f *FTL) ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error) {
+	if n == 1 && len(dst) == 1 {
+		return f.readOne(at, lba, dst)
+	}
 	if err := f.checkPower(at); err != nil {
 		return at, err
 	}
@@ -83,7 +86,7 @@ func (f *FTL) ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error
 		if err != nil {
 			return at, err
 		}
-		ppa := f.geo.PPAOf(addr)
+		ppa := f.ppaOf(addr)
 		dst[i] = f.arr.Payload(ppa)
 		hit = false
 		if m := len(runs); m > 0 && runs[m-1].chip == addr.Chip && runs[m-1].block == addr.Block && runs[m-1].page == addr.Page {
@@ -118,7 +121,7 @@ func (f *FTL) ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error
 			done = end
 		}
 	}
-	if len(runs) > 0 {
+	if len(runs) > 0 && f.obs != nil {
 		f.record(obs.StageDataRead, obs.CauseNone, start, done, zone, lba, int64(len(runs)))
 	}
 	if fetchDone > done {
@@ -126,7 +129,71 @@ func (f *FTL) ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error
 	}
 	f.stats.HostReadBytes += n * units.Sector
 	f.arr.Engine().Observe(done)
-	f.record(obs.StageHostRead, obs.CauseNone, at, done, zone, lba, n)
+	if f.obs != nil {
+		f.record(obs.StageHostRead, obs.CauseNone, at, done, zone, lba, n)
+	}
+	return done, nil
+}
+
+// readOne is ReadInto specialized for single-sector requests — the
+// dominant shape of consumer random-read traffic — skipping the page-run
+// batching machinery a one-sector request can never use. Its state
+// mutations, timing math and event stream are identical to the general
+// path restricted to n=1.
+func (f *FTL) readOne(at sim.Time, lba int64, dst [][]byte) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
+	zone, err := f.zones.ValidateRead(lba, 1)
+	if err != nil {
+		return at, err
+	}
+	dst[0] = nil
+	if p, ok := f.bufs.ReadSector(zone, lba); ok {
+		dst[0] = p
+		f.stats.BufferReads++
+		f.stats.HostReadBytes += units.Sector
+		f.arr.Engine().Observe(at)
+		if f.obs != nil {
+			f.record(obs.StageHostRead, obs.CauseNone, at, at, zone, lba, 1)
+		}
+		return at, nil
+	}
+	fetchDone := at
+	psn, hit := f.cache.Lookup(lba)
+	if !hit {
+		var ok bool
+		psn, fetchDone, ok, err = f.fetchMapping(at, lba)
+		if err != nil {
+			return at, err
+		}
+		if !ok {
+			// Unwritten sector: zeros, no data page to sense.
+			f.stats.HostReadBytes += units.Sector
+			f.arr.Engine().Observe(fetchDone)
+			if f.obs != nil {
+				f.record(obs.StageHostRead, obs.CauseNone, at, fetchDone, zone, lba, 1)
+			}
+			return fetchDone, nil
+		}
+	}
+	addr, err := f.psnLoc(psn)
+	if err != nil {
+		return at, err
+	}
+	dst[0] = f.arr.Payload(f.ppaOf(addr))
+	done, err := f.arr.ReadPage(fetchDone, addr.Chip, addr.Block, addr.Page, units.Sector)
+	if err != nil {
+		return at, err
+	}
+	if f.obs != nil {
+		f.record(obs.StageDataRead, obs.CauseNone, fetchDone, done, zone, lba, 1)
+	}
+	f.stats.HostReadBytes += units.Sector
+	f.arr.Engine().Observe(done)
+	if f.obs != nil {
+		f.record(obs.StageHostRead, obs.CauseNone, at, done, zone, lba, 1)
+	}
 	return done, nil
 }
 

@@ -34,6 +34,9 @@ type DebugState struct {
 func (c *Controller) DebugSnapshot() DebugState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Staged reads are outstanding but neither pending nor completed;
+	// drain them so the snapshot's queue accounting balances.
+	c.drainStaged()
 	st := DebugState{
 		NextTag:         c.nextTag,
 		Outstanding:     append([]int(nil), c.out...),
@@ -50,9 +53,23 @@ func (c *Controller) DebugSnapshot() DebugState {
 	}
 	st.Completions = make([][]Completion, len(c.cqs))
 	for q := range c.cqs {
-		st.Completions[q] = append([]Completion(nil), c.cqs[q]...)
+		st.Completions[q] = c.cqs[q].snapshot()
 	}
 	return st
+}
+
+// snapshot returns the queued completions in reap order — (Done, Tag)
+// ascending, which is exactly the live key order. Debug/audit use only.
+func (q *complQueue) snapshot() []Completion {
+	live := q.order[q.head:]
+	if len(live) == 0 {
+		return nil
+	}
+	out := make([]Completion, len(live))
+	for i, k := range live {
+		out[i] = q.slots[k.slot]
+	}
+	return out
 }
 
 // DebugSetCompletionLBA rewrites the queued completion's assigned LBA,
@@ -62,9 +79,10 @@ func (c *Controller) DebugSetCompletionLBA(tag Tag, lba int64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for q := range c.cqs {
-		for i := range c.cqs[q] {
-			if c.cqs[q][i].Tag == tag {
-				c.cqs[q][i].LBA = lba
+		cq := &c.cqs[q]
+		for i := cq.head; i < len(cq.order); i++ {
+			if cq.order[i].tag == tag {
+				cq.slots[cq.order[i].slot].LBA = lba
 				return true
 			}
 		}
@@ -79,10 +97,15 @@ func (c *Controller) DebugSetCompletionTimes(tag Tag, dispatched, done sim.Time)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for q := range c.cqs {
-		for i := range c.cqs[q] {
-			if c.cqs[q][i].Tag == tag {
-				c.cqs[q][i].Dispatched = dispatched
-				c.cqs[q][i].Done = done
+		cq := &c.cqs[q]
+		for i := cq.head; i < len(cq.order); i++ {
+			if cq.order[i].tag == tag {
+				s := cq.order[i].slot
+				cq.slots[s].Dispatched = dispatched
+				cq.slots[s].Done = done
+				// Done is part of the ordering key: relink the slot under it.
+				cq.removeAt(i)
+				cq.pushKey(cqKey{done: done, tag: tag, slot: s})
 				return true
 			}
 		}
@@ -108,9 +131,11 @@ func (c *Controller) DebugDuplicateCompletion(tag Tag) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for q := range c.cqs {
-		for i := range c.cqs[q] {
-			if c.cqs[q][i].Tag == tag {
-				c.cqs[q] = append(c.cqs[q], c.cqs[q][i])
+		cq := &c.cqs[q]
+		for i := cq.head; i < len(cq.order); i++ {
+			if cq.order[i].tag == tag {
+				comp := cq.slots[cq.order[i].slot]
+				*cq.push(comp.Done, comp.Tag) = comp
 				c.out[q]++
 				return true
 			}
@@ -126,14 +151,8 @@ func (c *Controller) DebugDropCompletion(tag Tag) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for q := range c.cqs {
-		for i := range c.cqs[q] {
-			if c.cqs[q][i].Tag == tag {
-				cq := c.cqs[q]
-				copy(cq[i:], cq[i+1:])
-				cq[len(cq)-1] = Completion{}
-				c.cqs[q] = cq[:len(cq)-1]
-				return true
-			}
+		if _, ok := c.cqs[q].takeTag(tag); ok {
+			return true
 		}
 	}
 	return false

@@ -36,7 +36,6 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/conzone/conzone/internal/obs"
@@ -238,6 +237,29 @@ type readIntoBackend interface {
 	ReadInto(at sim.Time, lba, n int64, dst [][]byte) (sim.Time, error)
 }
 
+// shardedReadBackend is the channel-sharded read staging surface
+// (*ftl.FTL implements it): StageRead plans a read now, DrainStagedReads
+// executes every staged read across per-channel shards and commits results
+// in staging order with completion values bit-identical to sequential
+// ReadInto calls. ReadsShardable gates the path off whenever the backend
+// needs the sequential machinery (fault injection, power-cut gating).
+type shardedReadBackend interface {
+	ReadsShardable() bool
+	StageRead(at sim.Time, lba, n int64, dst [][]byte)
+	DrainStagedReads(emit func(i int, done sim.Time, err error))
+}
+
+// stagedHostRead is the controller-side record of one staged read: the
+// identity and container the completion needs once the backend drains.
+type stagedHostRead struct {
+	tag   Tag
+	queue int
+	at    sim.Time
+	lba   int64
+	n     int64
+	data  [][]byte
+}
+
 // zone returns the zone the request's write lock targets (-1 for reads and
 // flush-alls, which lock nothing / everything respectively).
 func (r *request) zone(zoneCap int64) int {
@@ -260,12 +282,21 @@ type Controller struct {
 	cfg Config
 
 	nextTag Tag
-	pending pendingHeap    // submitted, undispatched, across all queues
-	cqs     [][]Completion // per-queue completion queues, sorted by (Done, Tag)
-	out     []int          // per-queue outstanding (submitted - reaped)
-	unfin   int            // total submitted-but-unreaped, across all queues
+	pending pendingHeap // submitted, undispatched, across all queues
+
+	cqs   []complQueue // per-queue completion queues, min-ordered on (Done, Tag)
+	out   []int        // per-queue outstanding (submitted - reaped)
+	unfin int          // total submitted-but-unreaped, across all queues
 
 	rb readIntoBackend // non-nil when the backend supports ReadInto
+
+	// Channel-sharded read staging (see drainStaged): srb is non-nil when
+	// the backend supports it, staged holds reads planned but not yet
+	// executed, in submission order.
+	srb       shardedReadBackend
+	staged    []stagedHostRead
+	readBurst bool                                  // a read was submitted since the last fence
+	drainEmit func(i int, done sim.Time, err error) // bound completeStaged, built once
 
 	// Cached device geometry (static for the backend's lifetime): avoids an
 	// interface call per validate/readyTime/dispatch on the hot path.
@@ -299,11 +330,18 @@ func New(be Backend, cfg Config) (*Controller, error) {
 		be:       be,
 		cfg:      cfg,
 		nextTag:  1,
-		cqs:      make([][]Completion, cfg.Queues+1), // +1: internal sync queue
+		cqs:      make([]complQueue, cfg.Queues+1), // +1: internal sync queue
 		out:      make([]int, cfg.Queues+1),
 		zoneFree: make([]sim.Time, be.NumZones()),
 	}
 	c.rb, _ = be.(readIntoBackend)
+	if c.rb != nil {
+		// Staging layers on the ReadInto container path, so it needs both.
+		c.srb, _ = be.(shardedReadBackend)
+		if c.srb != nil {
+			c.drainEmit = c.completeStaged // bind once: drains stay allocation-free
+		}
+	}
 	c.zcap = be.ZoneCapSectors()
 	c.total = be.TotalSectors()
 	c.nzones = be.NumZones()
@@ -339,13 +377,48 @@ func (c *Controller) Submit(at sim.Time, q int, req Request) (Tag, error) {
 	if c.out[q] >= c.cfg.Depth {
 		return 0, fmt.Errorf("%w: queue %d holds %d commands", ErrQueueFull, q, c.out[q])
 	}
-	return c.submit(at, q, req)
+	return c.submit(at, q, &req)
 }
 
-// submit validates and enqueues with c.mu held.
-func (c *Controller) submit(at sim.Time, q int, req Request) (Tag, error) {
+// submit validates and enqueues with c.mu held. req is a pointer only to
+// spare the hot path two struct copies; it is never retained.
+func (c *Controller) submit(at sim.Time, q int, req *Request) (Tag, error) {
 	if err := c.validate(req); err != nil {
 		return 0, err
+	}
+	if req.Op == OpRead && len(c.pending) == 0 {
+		// Fast path: a read submitted with nothing pending is necessarily
+		// the arbiter's next pick — reads never wait on a zone write lock,
+		// so its ready time is its submission instant, and every command
+		// submitted later carries a larger tag (and, for a submitter whose
+		// submission instants are non-decreasing, a ready time no
+		// earlier). Dispatching it immediately reserves the simulated
+		// hardware in exactly the order the batch arbiter would, without a
+		// round trip through the pending heap.
+		tag := c.nextTag
+		c.nextTag++
+		c.out[q]++
+		c.unfin++
+		if c.readBurst && c.srb != nil && c.srb.ReadsShardable() {
+			// Channel-sharded staging: plan the read now (identical
+			// sequential semantics), defer its sim reservations until the
+			// next fence — another submission class, a poll, or a wait —
+			// where the whole staged run executes across per-channel
+			// shards and merges back in tag order. Staging starts with the
+			// second back-to-back read (readBurst): a lone read between
+			// fences would drain as a batch of one, paying the staging
+			// bookkeeping with no shard-overlap to show for it. Either
+			// route produces bit-identical results, so the heuristic is
+			// free to chase throughput.
+			data := c.getContainer(int(req.N))
+			c.srb.StageRead(at, req.LBA, req.N, data)
+			c.staged = append(c.staged, stagedHostRead{tag: tag, queue: q, at: at, lba: req.LBA, n: req.N, data: data})
+			return tag, nil
+		}
+		c.drainStaged() // keep execution in tag order if anything is staged
+		c.readBurst = true
+		c.dispatchRead(tag, q, at, at, req.LBA, req.N)
+		return tag, nil
 	}
 	tag := c.nextTag
 	c.nextTag++
@@ -357,7 +430,7 @@ func (c *Controller) submit(at sim.Time, q int, req Request) (Tag, error) {
 	} else {
 		r = new(request)
 	}
-	r.tag, r.queue, r.submitted, r.req = tag, q, at, req
+	r.tag, r.queue, r.submitted, r.req = tag, q, at, *req
 	r.zn = r.zone(c.zcap)
 	r.key = c.readyTime(r)
 	heap.Push(&c.pending, r)
@@ -369,7 +442,7 @@ func (c *Controller) submit(at sim.Time, q int, req Request) (Tag, error) {
 // validate rejects requests the controller cannot even queue: unknown ops,
 // zone ids it cannot lock, writes spanning zones. Everything else is the
 // simulated device's job and surfaces in the Completion.
-func (c *Controller) validate(req Request) error {
+func (c *Controller) validate(req *Request) error {
 	zoneCap := c.zcap
 	switch req.Op {
 	case OpRead:
@@ -451,6 +524,7 @@ func (c *Controller) readyTime(r *request) sim.Time {
 // element's lower bound, so the root is the true (ready, tag) minimum and
 // dispatch order is identical to the former linear scan's.
 func (c *Controller) advance() {
+	c.drainStaged()
 	for c.pending.Len() > 0 {
 		r := c.pending[0]
 		if ready := c.readyTime(r); ready != r.key {
@@ -468,45 +542,16 @@ func (c *Controller) advance() {
 // dispatch executes one command at its dispatch instant and queues the
 // completion. Must be called with c.mu held.
 func (c *Controller) dispatch(r *request, at sim.Time) {
+	if r.req.Op == OpRead {
+		c.dispatchRead(r.tag, r.queue, r.submitted, at, r.req.LBA, r.req.N)
+		return
+	}
 	zone := r.zn
 	lba := r.req.LBA
 	n := r.req.N
 	var done sim.Time
 	var err error
-	var data [][]byte
 	switch r.req.Op {
-	case OpRead:
-		if c.rb != nil {
-			// Allocation-free fast path: the backend fills a recycled
-			// container with borrowed device views, and the controller
-			// copies them into pooled sector buffers immediately — while
-			// the views are still valid — so the completion's data is
-			// owned and survives however long the reaper sits on it.
-			data = c.getContainer(int(n))
-			done, err = c.rb.ReadInto(at, lba, n, data)
-			carries := false
-			if err == nil {
-				for i, p := range data {
-					if p == nil {
-						continue
-					}
-					b := c.getSectorBuf()
-					copy(b, p)
-					data[i] = b
-					carries = true
-				}
-			}
-			if err != nil || !carries {
-				// A failed read, or one covering only unwritten sectors
-				// (which read back as zeros), carries no payload: return the
-				// container now and complete with nil Data, so the reaper
-				// has nothing to Recycle.
-				c.contFree = append(c.contFree, data[:0])
-				data = nil
-			}
-		} else {
-			data, done, err = c.be.Read(at, lba, n)
-		}
 	case OpWrite:
 		n = int64(len(r.req.Payloads))
 		done, err = c.be.Write(at, lba, r.req.Payloads)
@@ -533,17 +578,16 @@ func (c *Controller) dispatch(r *request, at sim.Time) {
 
 	// Release the zone write lock at command completion: the next
 	// write-class command of the zone may dispatch then, and no earlier —
-	// writes inside one zone are serialized, mq-deadline style.
-	if r.req.Op.WriteClass() {
-		if r.req.Op == OpFlush && r.req.Zone < 0 {
-			for z := range c.zoneFree {
-				if done > c.zoneFree[z] {
-					c.zoneFree[z] = done
-				}
+	// writes inside one zone are serialized, mq-deadline style. (Every op
+	// here is write-class; reads took the dispatchRead path above.)
+	if r.req.Op == OpFlush && r.req.Zone < 0 {
+		for z := range c.zoneFree {
+			if done > c.zoneFree[z] {
+				c.zoneFree[z] = done
 			}
-		} else if zone >= 0 && zone < len(c.zoneFree) && done > c.zoneFree[zone] {
-			c.zoneFree[zone] = done
 		}
+	} else if zone >= 0 && zone < len(c.zoneFree) && done > c.zoneFree[zone] {
+		c.zoneFree[zone] = done
 	}
 	if done > c.maxDone {
 		c.maxDone = done
@@ -565,23 +609,286 @@ func (c *Controller) dispatch(r *request, at sim.Time) {
 		c.debugLoseSync--
 		return
 	}
-	cq := c.cqs[r.queue]
-	i := len(cq)
-	// Completions mostly arrive in (Done, Tag) order already; only fall back
-	// to the binary search when this one sorts before the current tail.
-	if i > 0 && (cq[i-1].Done > done || (cq[i-1].Done == done && cq[i-1].Tag > r.tag)) {
-		i = sort.Search(len(cq), func(i int) bool {
-			return cq[i].Done > done || (cq[i].Done == done && cq[i].Tag > r.tag)
+	comp := c.cqs[r.queue].push(done, r.tag)
+	comp.Tag = r.tag
+	comp.Queue = r.queue
+	comp.Op = r.req.Op
+	comp.Zone = zone
+	comp.LBA = lba
+	comp.N = n
+	comp.Data = nil
+	comp.Err = err
+	comp.Status = StatusOf(err)
+	comp.Submitted = r.submitted
+	comp.Dispatched = at
+	comp.Done = done
+}
+
+// dispatchRead executes one read at its dispatch instant and queues the
+// completion: the OpRead arm of dispatch, shared with submit's immediate
+// fast path. Reads never hold a zone write lock, so none of dispatch's
+// lock bookkeeping applies. Must be called with c.mu held.
+func (c *Controller) dispatchRead(tag Tag, q int, submitted, at sim.Time, lba, n int64) {
+	var done sim.Time
+	var err error
+	var data [][]byte
+	if c.rb != nil {
+		// Allocation-free fast path: the backend fills a recycled
+		// container with borrowed device views, and the controller
+		// copies them into pooled sector buffers immediately — while
+		// the views are still valid — so the completion's data is
+		// owned and survives however long the reaper sits on it.
+		data = c.getContainer(int(n))
+		done, err = c.rb.ReadInto(at, lba, n, data)
+		carries := false
+		if err == nil {
+			for i, p := range data {
+				if p == nil {
+					continue
+				}
+				b := c.getSectorBuf()
+				copy(b, p)
+				data[i] = b
+				carries = true
+			}
+		}
+		if err != nil || !carries {
+			// A failed read, or one covering only unwritten sectors
+			// (which read back as zeros), carries no payload: return the
+			// container now and complete with nil Data, so the reaper
+			// has nothing to Recycle.
+			c.contFree = append(c.contFree, data[:0])
+			data = nil
+		}
+	} else {
+		data, done, err = c.be.Read(at, lba, n)
+	}
+	if done < at {
+		done = at
+	}
+	c.dispatched++
+	if done > c.maxDone {
+		c.maxDone = done
+	}
+	if rec := c.be.Recorder(); rec != nil {
+		rec.Record(obs.Event{
+			Stage: obs.StageHostQueue, Cause: obs.CauseNone,
+			Begin: submitted, End: at,
+			Zone: -1, Actor: int32(q), LBA: lba, N: n,
 		})
 	}
-	cq = append(cq, Completion{})
-	copy(cq[i+1:], cq[i:])
-	cq[i] = Completion{
-		Tag: r.tag, Queue: r.queue, Op: r.req.Op,
-		Zone: zone, LBA: lba, N: n, Data: data, Err: err, Status: StatusOf(err),
-		Submitted: r.submitted, Dispatched: at, Done: done,
+	if c.debugLoseSync > 0 && q == c.syncQueue() {
+		// See dispatch: the corruption hook swallows sync completions.
+		c.debugLoseSync--
+		return
 	}
-	c.cqs[r.queue] = cq
+	comp := c.cqs[q].push(done, tag)
+	comp.Tag = tag
+	comp.Queue = q
+	comp.Op = OpRead
+	comp.Zone = -1
+	comp.LBA = lba
+	comp.N = n
+	comp.Data = data
+	comp.Err = err
+	comp.Status = StatusOf(err)
+	comp.Submitted = submitted
+	comp.Dispatched = at
+	comp.Done = done
+}
+
+// drainStaged executes every staged read through the backend's channel
+// shards and completes them in staging (tag) order. Every completion
+// value, record and counter matches what an immediate dispatchRead at
+// each read's submission instant would have produced — staging only moves
+// the work, never the result. Called at every fence: advance (so any
+// dispatch, poll or wait drains first), a submit that cannot stage, and
+// DebugSnapshot. Must be called with c.mu held.
+func (c *Controller) drainStaged() {
+	c.readBurst = false
+	if len(c.staged) == 0 {
+		return
+	}
+	c.srb.DrainStagedReads(c.drainEmit)
+	c.staged = c.staged[:0]
+}
+
+// completeStaged finishes staged read i with the backend-reported
+// completion time and error: dispatchRead's completion-side tail.
+func (c *Controller) completeStaged(i int, done sim.Time, err error) {
+	s := &c.staged[i]
+	data := s.data
+	s.data = nil
+	carries := false
+	if err == nil {
+		for j, p := range data {
+			if p == nil {
+				continue
+			}
+			b := c.getSectorBuf()
+			copy(b, p)
+			data[j] = b
+			carries = true
+		}
+	}
+	if err != nil || !carries {
+		c.contFree = append(c.contFree, data[:0])
+		data = nil
+	}
+	if done < s.at {
+		done = s.at
+	}
+	c.dispatched++
+	if done > c.maxDone {
+		c.maxDone = done
+	}
+	if rec := c.be.Recorder(); rec != nil {
+		rec.Record(obs.Event{
+			Stage: obs.StageHostQueue, Cause: obs.CauseNone,
+			Begin: s.at, End: s.at,
+			Zone: -1, Actor: int32(s.queue), LBA: s.lba, N: s.n,
+		})
+	}
+	if c.debugLoseSync > 0 && s.queue == c.syncQueue() {
+		// See dispatch: the corruption hook swallows sync completions.
+		c.debugLoseSync--
+		return
+	}
+	comp := c.cqs[s.queue].push(done, s.tag)
+	comp.Tag = s.tag
+	comp.Queue = s.queue
+	comp.Op = OpRead
+	comp.Zone = -1
+	comp.LBA = s.lba
+	comp.N = s.n
+	comp.Data = data
+	comp.Err = err
+	comp.Status = StatusOf(err)
+	comp.Submitted = s.at
+	comp.Dispatched = s.at
+	comp.Done = done
+}
+
+// cqKey orders one queued completion inside its queue. The queue shuffles
+// these 24-byte keys instead of the much larger Completion values, which
+// sit still in the queue's slot arena until reaped — so an insert memmoves
+// a handful of small keys and exactly one Completion ever crosses into the
+// reaper's buffer.
+type cqKey struct {
+	done sim.Time
+	tag  Tag
+	slot int32
+}
+
+func (k cqKey) less(o cqKey) bool {
+	return k.done < o.done || (k.done == o.done && k.tag < o.tag)
+}
+
+// complQueue is one completion queue: keys sorted ascending on (Done, Tag)
+// over a slot arena of Completion values. The minimum sits at head, so
+// popping in virtual completion-time order (ties by tag) is a head bump;
+// pushing is usually an append, because dispatch instants advance with
+// virtual time and most completions finish after everything already queued.
+// An out-of-order push binary-searches its position and memmoves only the
+// 24-byte keys above it — typically the last few.
+type complQueue struct {
+	order []cqKey      // ascending on (done, tag) from head; dead prefix before
+	head  int          // index of the live minimum within order
+	slots []Completion // value arena indexed by cqKey.slot
+	free  []int32      // recycled arena slots
+}
+
+// cqCompactAt bounds the dead prefix popMin leaves behind: once head passes
+// it, the live keys are copied down so the slice stops growing. At most
+// liveLen keys move per cqCompactAt pops — amortized O(1).
+const cqCompactAt = 64
+
+func (q *complQueue) len() int { return len(q.order) - q.head }
+
+// push allocates a slot, links it into the heap under (done, tag), and
+// returns the slot's Completion for the caller to fill in place.
+func (q *complQueue) push(done sim.Time, tag Tag) *Completion {
+	var s int32
+	if n := len(q.free); n > 0 {
+		s = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.slots = append(q.slots, Completion{})
+		s = int32(len(q.slots) - 1)
+	}
+	q.pushKey(cqKey{done: done, tag: tag, slot: s})
+	return &q.slots[s]
+}
+
+// pushKey links an already-allocated arena slot's key into the ascending
+// order. Fast path: the key belongs at the tail. Otherwise binary search
+// the live region and shift the larger keys up one position.
+func (q *complQueue) pushKey(k cqKey) {
+	if n := len(q.order); n == q.head || !k.less(q.order[n-1]) {
+		q.order = append(q.order, k)
+		return
+	}
+	lo, hi := q.head, len(q.order)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if k.less(q.order[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	q.order = append(q.order, cqKey{})
+	copy(q.order[lo+1:], q.order[lo:])
+	q.order[lo] = k
+}
+
+// popMin unlinks the earliest (done, tag) completion and returns its slot.
+// The caller copies the value out and then calls release.
+func (q *complQueue) popMin() int32 {
+	s := q.order[q.head].slot
+	q.head++
+	if q.head == len(q.order) {
+		q.order = q.order[:0] // drained: reclaim the dead prefix
+		q.head = 0
+	} else if q.head >= cqCompactAt {
+		m := copy(q.order, q.order[q.head:])
+		q.order = q.order[:m]
+		q.head = 0
+	}
+	return s
+}
+
+// release recycles a popped slot, dropping its reference fields so reaped
+// Data is not retained by the arena.
+func (q *complQueue) release(s int32) {
+	q.slots[s].Data = nil
+	q.slots[s].Err = nil
+	q.free = append(q.free, s)
+}
+
+// takeTag removes and returns the completion with the given tag, wherever
+// it sits in the queue.
+func (q *complQueue) takeTag(tag Tag) (Completion, bool) {
+	for i := q.head; i < len(q.order); i++ {
+		if q.order[i].tag == tag {
+			s := q.order[i].slot
+			comp := q.slots[s]
+			q.removeAt(i)
+			q.release(s)
+			return comp, true
+		}
+	}
+	return Completion{}, false
+}
+
+// removeAt deletes the key at index i, preserving the ascending order.
+func (q *complQueue) removeAt(i int) {
+	copy(q.order[i:], q.order[i+1:])
+	q.order = q.order[:len(q.order)-1]
+	if q.head == len(q.order) {
+		q.order = q.order[:0]
+		q.head = 0
+	}
 }
 
 // Poll dispatches everything pending and reaps up to max completions from
@@ -595,7 +902,7 @@ func (c *Controller) Poll(q, max int) []Completion {
 		return nil
 	}
 	c.advance()
-	if len(c.cqs[q]) == 0 {
+	if c.cqs[q].len() == 0 {
 		return nil
 	}
 	return c.reapInto(q, max, nil)
@@ -614,22 +921,21 @@ func (c *Controller) PollInto(q, max int, dst []Completion) []Completion {
 }
 
 // reapInto appends up to max completions from queue q to dst with c.mu
-// held, compacting the completion queue in place so its capacity is reused.
+// held, popping them from the queue's heap in (Done, Tag) order.
 func (c *Controller) reapInto(q, max int, dst []Completion) []Completion {
-	cq := c.cqs[q]
-	n := len(cq)
+	cq := &c.cqs[q]
+	n := cq.len()
 	if n == 0 {
 		return dst
 	}
 	if max > 0 && max < n {
 		n = max
 	}
-	dst = append(dst, cq[:n]...)
-	m := copy(cq, cq[n:])
-	for i := m; i < len(cq); i++ {
-		cq[i] = Completion{} // release Data references from the vacated tail
+	for i := 0; i < n; i++ {
+		s := cq.popMin()
+		dst = append(dst, cq.slots[s])
+		cq.release(s)
 	}
-	c.cqs[q] = cq[:m]
 	c.out[q] -= n
 	c.unfin -= n
 	return dst
@@ -705,19 +1011,13 @@ func (c *Controller) Wait(tag Tag) (Completion, bool) {
 
 // take removes the tagged completion from queue q with c.mu held.
 func (c *Controller) take(q int, tag Tag) (Completion, bool) {
-	cq := c.cqs[q]
-	for i := range cq {
-		if cq[i].Tag == tag {
-			comp := cq[i]
-			copy(cq[i:], cq[i+1:])
-			cq[len(cq)-1] = Completion{}
-			c.cqs[q] = cq[:len(cq)-1]
-			c.out[q]--
-			c.unfin--
-			return comp, true
-		}
+	comp, ok := c.cqs[q].takeTag(tag)
+	if !ok {
+		return Completion{}, false
 	}
-	return Completion{}, false
+	c.out[q]--
+	c.unfin--
+	return comp, true
 }
 
 // Kick dispatches every pending command without reaping any completion,
@@ -771,7 +1071,7 @@ func (c *Controller) Dispatched() int64 {
 func (c *Controller) execSync(at sim.Time, req Request) (Completion, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	tag, err := c.submit(at, c.syncQueue(), req)
+	tag, err := c.submit(at, c.syncQueue(), &req)
 	if err != nil {
 		return Completion{}, err
 	}

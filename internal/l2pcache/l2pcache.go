@@ -17,6 +17,7 @@ package l2pcache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/conzone/conzone/internal/mapping"
 )
@@ -82,6 +83,25 @@ type Cache struct {
 
 	victims []*node // scratch for bounded scans
 
+	// Probe acceleration, derived once at construction: per-granularity
+	// spans (with a power-of-two mask fast path for keyFor's base
+	// alignment) and resident-entry counts per granularity, so Lookup can
+	// skip the hash probe for a granularity with no resident entries — the
+	// probe still counts in the statistics, it just costs a counter bump
+	// instead of a map access. Indexed by mapping.Gran.
+	span  [3]int64
+	mask  [3]int64
+	pow2  [3]bool
+	shift [3]uint
+	granN [3]int
+
+	// ix direct-indexes resident nodes by base/span for granularities
+	// whose base count (TotalSectors/span) is small enough, turning
+	// Lookup's hash probe into an array load. The map remains the source
+	// of truth — ix is maintained alongside it on insert and remove and
+	// never holds a node the map lacks. nil for unindexed granularities.
+	ix [3][]*node
+
 	used  int64 // bytes of unpinned+pinned entries
 	stats Stats
 }
@@ -108,8 +128,28 @@ func New(capBytes, entryBytes int64, table *mapping.Table) (*Cache, error) {
 		m:          make(map[key]*node),
 	}
 	c.root.prev, c.root.next = &c.root, &c.root
+	total := table.TotalSectors()
+	for _, g := range lookupOrder {
+		s := table.SectorsOf(g)
+		c.span[g] = s
+		if s > 0 && s&(s-1) == 0 {
+			c.pow2[g] = true
+			c.mask[g] = s - 1
+			c.shift[g] = uint(bits.TrailingZeros64(uint64(s)))
+		}
+		if s > 0 {
+			if n := total / s; n > 0 && n <= maxDirectIndex {
+				c.ix[g] = make([]*node, n)
+			}
+		}
+	}
 	return c, nil
 }
+
+// maxDirectIndex caps the per-granularity direct-index size: a granularity
+// with more bases than this keeps the plain hash probe, bounding the
+// acceleration arrays at 512 KiB of pointers each.
+const maxDirectIndex = 1 << 16
 
 // Capacity returns the byte budget.
 func (c *Cache) Capacity() int64 { return c.capBytes }
@@ -127,8 +167,10 @@ func (c *Cache) MaxEntries() int64 { return c.capBytes / c.entryBytes }
 func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) keyFor(g mapping.Gran, lpa int64) key {
-	span := c.table.SectorsOf(g)
-	return makeKey(g, lpa-lpa%span)
+	if c.pow2[g] {
+		return makeKey(g, lpa&^c.mask[g])
+	}
+	return makeKey(g, lpa-lpa%c.span[g])
 }
 
 // unlink detaches nd from the LRU ring.
@@ -169,12 +211,28 @@ func (c *Cache) newNode() *node {
 // returned (entry base PSN plus the offset inside the aggregated run).
 func (c *Cache) Lookup(lpa int64) (mapping.PSN, bool) {
 	for _, g := range lookupOrder {
-		k := c.keyFor(g, lpa)
 		c.stats.Probes++
-		if nd, ok := c.m[k]; ok {
+		if c.granN[g] == 0 {
+			continue // no resident entry of this granularity: guaranteed miss
+		}
+		var nd *node
+		if ix := c.ix[g]; ix != nil {
+			var i int64
+			if c.pow2[g] {
+				i = lpa >> c.shift[g]
+			} else {
+				i = lpa / c.span[g]
+			}
+			if uint64(i) < uint64(len(ix)) {
+				nd = ix[i]
+			}
+		} else if n, ok := c.m[c.keyFor(g, lpa)]; ok {
+			nd = n
+		}
+		if nd != nil {
 			c.moveToFront(nd)
 			c.stats.Hits++
-			return nd.psn + mapping.PSN(lpa-k.base()), true
+			return nd.psn + mapping.PSN(lpa-nd.key.base()), true
 		}
 	}
 	c.stats.Misses++
@@ -217,7 +275,13 @@ func (c *Cache) Insert(g mapping.Gran, lpa int64, basePSN mapping.PSN, pinned bo
 	nd.key, nd.psn, nd.pinned = k, basePSN, pinned
 	c.pushFront(nd)
 	c.m[k] = nd
+	if ix := c.ix[g]; ix != nil {
+		if i := k.base() / c.span[g]; uint64(i) < uint64(len(ix)) {
+			ix[i] = nd
+		}
+	}
 	c.n++
+	c.granN[k.gran()]++
 	c.used += c.entryBytes
 	c.stats.Inserts++
 	return true
@@ -279,11 +343,17 @@ func (c *Cache) evictLRU() bool {
 	return false
 }
 
-// remove detaches the node from the map and ring and recycles it.
+// remove detaches the node from the map, index and ring and recycles it.
 func (c *Cache) remove(nd *node) {
 	delete(c.m, nd.key)
+	if g := nd.key.gran(); c.ix[g] != nil {
+		if i := nd.key.base() / c.span[g]; uint64(i) < uint64(len(c.ix[g])) {
+			c.ix[g][i] = nil
+		}
+	}
 	nd.unlink()
 	c.n--
+	c.granN[nd.key.gran()]--
 	c.used -= c.entryBytes
 	nd.key = 0
 	nd.psn, nd.pinned = 0, false
@@ -371,6 +441,31 @@ func (c *Cache) CheckInvariants() error {
 	}
 	if len(c.m) != c.n {
 		return fmt.Errorf("l2pcache: map %d != list %d", len(c.m), c.n)
+	}
+	var granN [3]int
+	for nd := c.root.next; nd != &c.root; nd = nd.next {
+		granN[nd.key.gran()]++
+	}
+	if granN != c.granN {
+		return fmt.Errorf("l2pcache: per-granularity counts %v, counted %v", c.granN, granN)
+	}
+	for g := range c.ix {
+		live := 0
+		for i, nd := range c.ix[g] {
+			if nd == nil {
+				continue
+			}
+			live++
+			if want := c.m[nd.key]; want != nd {
+				return fmt.Errorf("l2pcache: index gran %d slot %d disagrees with map", g, i)
+			}
+			if nd.key.gran() != mapping.Gran(g) || nd.key.base()/c.span[g] != int64(i) {
+				return fmt.Errorf("l2pcache: index gran %d slot %d holds misfiled key %d", g, i, nd.key)
+			}
+		}
+		if c.ix[g] != nil && live != c.granN[g] {
+			return fmt.Errorf("l2pcache: index gran %d holds %d entries, counted %d resident", g, live, c.granN[g])
+		}
 	}
 	if c.used > c.capBytes {
 		// Over budget is legal only if everything resident is pinned.

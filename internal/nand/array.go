@@ -2,11 +2,22 @@ package nand
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
 	"github.com/conzone/conzone/internal/units"
 )
+
+// blockInfo is the per-block metadata the hot paths consult instead of
+// re-deriving media mode, page count and latency through Geometry's
+// value-receiver methods (copying the geometry struct per call). It is
+// immutable after construction.
+type blockInfo struct {
+	pages int
+	media Media
+	lat   Latency
+}
 
 // blockState tracks the NAND-physics state of one per-chip block: how far
 // it has been programmed (blocks are append-only between erases) and how
@@ -54,8 +65,12 @@ type Array struct {
 	payload  [][]byte       // per linear sector; nil = no stored payload
 	written  []bool         // per linear sector; programmed at least once since erase
 	counters Counters
-	obs      *obs.Recorder // nil when observation is off
-	faults   FaultInjector // nil = media never fails
+	chanTab  []*sim.Resource // per-chip channel resource (chanOf without the modulo)
+	meta     []blockInfo     // per-block media/pages/latency, derived at construction
+	xferTab  []time.Duration // channel transfer time by n/Sector, for sector multiples up to one PU
+	slabs    slabArena       // per-array payload slab freelist (see slab.go)
+	obs      *obs.Recorder   // nil when observation is off
+	faults   FaultInjector   // nil = media never fails
 
 	// lastProgStart models each chip's cache register (cache-program
 	// pipeline): a data transfer for program n+1 may begin once program n
@@ -101,6 +116,19 @@ func NewArray(geo Geometry, lat LatencyTable, engine *sim.Engine) (*Array, error
 	}
 	for c := 0; c < geo.Chips(); c++ {
 		a.chips = append(a.chips, engine.NewResource(fmt.Sprintf("chip%d", c)))
+	}
+	a.chanTab = make([]*sim.Resource, geo.Chips())
+	for c := range a.chanTab {
+		a.chanTab[c] = a.channels[geo.ChannelOf(c)]
+	}
+	a.meta = make([]blockInfo, geo.BlocksPerChip)
+	for b := range a.meta {
+		m := geo.MediaOf(b)
+		a.meta[b] = blockInfo{pages: geo.PagesIn(b), media: m, lat: lat.For(m)}
+	}
+	a.xferTab = make([]time.Duration, geo.ProgramUnit/units.Sector+1)
+	for i := range a.xferTab {
+		a.xferTab[i] = units.TransferTime(int64(i)*units.Sector, geo.ChannelMiBps)
 	}
 	a.blocks = make([][]blockState, geo.Chips())
 	for c := range a.blocks {
@@ -167,8 +195,8 @@ func (a *Array) PreWear(erases int64) {
 }
 
 func (a *Array) checkAddr(chip, block int) error {
-	if chip < 0 || chip >= a.geo.Chips() {
-		return fmt.Errorf("nand: chip %d out of range [0,%d)", chip, a.geo.Chips())
+	if chip < 0 || chip >= len(a.chips) {
+		return fmt.Errorf("nand: chip %d out of range [0,%d)", chip, len(a.chips))
 	}
 	if block < 0 || block >= a.geo.BlocksPerChip {
 		return fmt.Errorf("nand: block %d out of range [0,%d)", block, a.geo.BlocksPerChip)
@@ -177,13 +205,20 @@ func (a *Array) checkAddr(chip, block int) error {
 }
 
 func (a *Array) chanOf(chip int) *sim.Resource {
-	return a.channels[a.geo.ChannelOf(chip)]
+	return a.chanTab[chip]
 }
 
 // transfer reserves the chip's channel for moving n payload bytes starting
-// no earlier than 'ready' and returns the transfer completion time.
+// no earlier than 'ready' and returns the transfer completion time. Sector
+// multiples up to one program unit — every size the device issues — come
+// from the precomputed table; anything else recomputes.
 func (a *Array) transfer(ready sim.Time, chip int, n int64) sim.Time {
-	d := units.TransferTime(n, a.geo.ChannelMiBps)
+	var d time.Duration
+	if s := n / units.Sector; n&(units.Sector-1) == 0 && s >= 0 && s < int64(len(a.xferTab)) {
+		d = a.xferTab[s]
+	} else {
+		d = units.TransferTime(n, a.geo.ChannelMiBps)
+	}
 	_, end := a.chanOf(chip).Reserve(ready, d)
 	return end
 }
@@ -211,14 +246,15 @@ func (a *Array) readPage(at sim.Time, chip, block, page int, xferBytes int64, re
 	if err := a.checkAddr(chip, block); err != nil {
 		return at, err
 	}
-	if page < 0 || page >= a.geo.PagesIn(block) {
-		return at, fmt.Errorf("nand: page %d out of range [0,%d) in %v block", page, a.geo.PagesIn(block), a.geo.MediaOf(block))
+	bm := &a.meta[block]
+	if page < 0 || page >= bm.pages {
+		return at, fmt.Errorf("nand: page %d out of range [0,%d) in %v block", page, bm.pages, bm.media)
 	}
 	if xferBytes < 0 || xferBytes > a.geo.PageSize {
 		return at, fmt.Errorf("nand: transfer %d outside page of %d bytes", xferBytes, a.geo.PageSize)
 	}
-	media := a.geo.MediaOf(block)
-	lat := a.lat.For(media)
+	media := bm.media
+	lat := bm.lat
 	_, senseEnd := a.chips[chip].Reserve(at, lat.Read)
 	if err := a.gate(senseEnd); err != nil {
 		return senseEnd, err
@@ -289,7 +325,7 @@ func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, sectors [][]b
 	if err := a.checkAddr(chip, block); err != nil {
 		return at, at, err
 	}
-	media := a.geo.MediaOf(block)
+	media := a.meta[block].media
 	if media == SLCMode {
 		return at, at, fmt.Errorf("nand: ProgramPU on SLC-mode block %d", block)
 	}
@@ -313,7 +349,7 @@ func (a *Array) ProgramPU(at sim.Time, chip, block, startPage int, sectors [][]b
 		return at, at, fmt.Errorf("nand: out-of-order program: block %d/%d expects sector %d, got %d",
 			chip, block, bs.nextSector, startSector)
 	}
-	lat := a.lat.For(media)
+	lat := a.meta[block].lat
 	// The chip's cache register must be free before data can stream in:
 	// it frees when the previous program starts.
 	xferEnd := a.transfer(sim.Max(at, a.lastProgStart[chip]), chip, a.geo.ProgramUnit)

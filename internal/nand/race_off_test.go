@@ -3,6 +3,6 @@
 package nand
 
 // raceEnabled reports whether the race detector is on; allocation-count
-// pins are skipped under -race because the detector defeats sync.Pool
-// caching by design.
+// pins are skipped under -race because the detector's instrumentation
+// skews allocation accounting.
 const raceEnabled = false

@@ -1,50 +1,63 @@
 package nand
 
 import (
-	"sync"
-
 	"github.com/conzone/conzone/internal/units"
 )
 
 // Payload storage is pooled: every stored sector occupies one sector-sized
-// slab drawn from a shared sync.Pool, and programming, erasing or
-// overwriting a sector releases its slab back to the pool. On the steady
-// state of a write-heavy workload the media model therefore allocates
-// nothing — slabs cycle between the pool and the payload table — which is
-// what keeps the emulator's wall-clock throughput at the ROADMAP's "as fast
-// as the hardware allows" target instead of fighting the garbage collector
-// over one fresh 4 KiB buffer per programmed sector.
+// slab drawn from the array's own freelist, and programming, erasing or
+// overwriting a sector releases its slab back to that freelist. On the
+// steady state of a write-heavy workload the media model therefore
+// allocates nothing — slabs cycle between the freelist and the payload
+// table — which is what keeps the emulator's wall-clock throughput at the
+// ROADMAP's "as fast as the hardware allows" target instead of fighting the
+// garbage collector over one fresh 4 KiB buffer per programmed sector.
+//
+// The freelist is deliberately per-Array rather than a shared sync.Pool:
+// a sync.Pool is a GC victim cache, so any allocation churn elsewhere in
+// the process (a benchmark driver's payload arena, a fleet of sibling
+// devices) periodically empties it and every subsequent program re-allocates
+// and re-zeroes its slab — the stray 1 alloc/op + ~4 KiB/op the seqwrite
+// benchmarks used to show. A plain per-device stack never interacts with
+// the collector, costs no atomics, and keeps devices fully isolated (the
+// fleet device-isolation audit relies on that).
 //
 // The flip side is a borrow discipline: Array.Payload returns the live slab,
 // and once the sector's block is erased the slab is recycled and may be
 // reprogrammed with unrelated data. See Payload and PayloadCopy.
 
-// slab is one pooled sector payload buffer. The pool stores *slab (a
-// pointer to a fixed-size array) rather than []byte so that Get/Put do not
-// allocate for the interface conversion.
-type slab [units.Sector]byte
+// slabArena is a per-Array freelist of sector-sized payload buffers.
+type slabArena struct {
+	free [][]byte
+}
 
-var slabPool = sync.Pool{New: func() any { return new(slab) }}
+// get returns a sector-sized buffer. Its contents are unspecified; callers
+// overwrite it fully.
+func (p *slabArena) get() []byte {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	return make([]byte, units.Sector)
+}
 
-// getSlab returns a sector-sized buffer from the pool. Its contents are
-// unspecified; callers overwrite it fully.
-func getSlab() []byte { return slabPool.Get().(*slab)[:] }
-
-// putSlab returns a buffer previously obtained from getSlab to the pool.
-func putSlab(b []byte) { slabPool.Put((*slab)(b)) }
+// put returns a buffer previously obtained from get.
+func (p *slabArena) put(b []byte) { p.free = append(p.free, b) }
 
 // setPayload stores one sector's payload: the previous slab, if any, is
 // released (overwrite release), and a non-nil src is copied into a fresh
 // slab so the caller's buffer is never retained.
 func (a *Array) setPayload(idx int64, src []byte) {
 	if old := a.payload[idx]; old != nil {
-		putSlab(old)
+		a.slabs.put(old)
 	}
 	if src == nil {
 		a.payload[idx] = nil
 		return
 	}
-	s := getSlab()
+	s := a.slabs.get()
 	copy(s, src)
 	a.payload[idx] = s
 }
@@ -52,7 +65,7 @@ func (a *Array) setPayload(idx int64, src []byte) {
 // dropPayload releases the sector's slab, if any (erase release).
 func (a *Array) dropPayload(idx int64) {
 	if old := a.payload[idx]; old != nil {
-		putSlab(old)
+		a.slabs.put(old)
 		a.payload[idx] = nil
 	}
 }

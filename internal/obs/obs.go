@@ -17,6 +17,8 @@
 package obs
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"strings"
 
@@ -352,4 +354,60 @@ func FormatTail(r *Recorder, n int) string {
 		fmt.Fprintf(&b, "  #%-6d %s\n", e.Seq, e)
 	}
 	return b.String()
+}
+
+// Fingerprint returns a SHA-256 digest over the recorder's complete
+// observable state: the lifetime event count, every retained ring event in
+// order (all fields), and the per-stage / per-(stage, cause) aggregates
+// including each stage's latency summary. Two recorders fed identical
+// event streams produce identical fingerprints, which is how the
+// channel-sharded execution tests assert that telemetry and trace output
+// stay byte-identical to the sequential path. Nil-safe: a nil recorder
+// fingerprints to the digest of an empty state.
+func (r *Recorder) Fingerprint() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	if r == nil {
+		return sha256.Sum256(nil)
+	}
+	w(r.seq)
+	size := uint64(len(r.ring))
+	have := r.seq
+	if have > size {
+		have = size
+	}
+	for i := r.seq - have; i < r.seq; i++ {
+		e := &r.ring[i%size]
+		w(e.Seq)
+		w(uint64(e.Stage))
+		w(uint64(e.Cause))
+		w(uint64(e.Begin))
+		w(uint64(e.End))
+		w(uint64(uint32(e.Zone)))
+		w(uint64(uint32(e.Actor)))
+		w(uint64(e.LBA))
+		w(uint64(e.N))
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		w(uint64(r.counts[s]))
+		for c := Cause(0); c < NumCauses; c++ {
+			w(uint64(r.causes[s][c]))
+		}
+		sum := r.hist[s].Summarize()
+		w(uint64(sum.Count))
+		w(uint64(sum.Sum))
+		w(uint64(sum.Min))
+		w(uint64(sum.Max))
+		w(uint64(sum.P50))
+		w(uint64(sum.P95))
+		w(uint64(sum.P99))
+		w(uint64(sum.P999))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }

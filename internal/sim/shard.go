@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the synchronization primitives for channel-sharded
+// execution. The resource model itself needs no changes to be sharded:
+// Reserve mutates only the receiver, so partitioning the resources of a
+// device into disjoint per-shard sets makes every shard's timeline advance
+// independently. The two primitives here are the glue:
+//
+//   - ShardSet records which shard owns each Resource and lets tests prove
+//     the partition is disjoint (no resource reserved by two shards).
+//   - Fence is a happens-before token carrying a Time across shards: the
+//     consuming shard must not reserve before the producing shard's
+//     reservations resolve, and the consumed start time is the max of the
+//     producers' completion times — exactly the value the sequential
+//     execution would have computed.
+
+// ShardSet is a registry mapping resources to the shard that owns them.
+// Ownership is exclusive: a resource may only ever be reserved by its
+// owning shard's worker, which is what makes parallel reservation safe
+// without locks.
+type ShardSet struct {
+	n     int
+	owner map[*Resource]int
+}
+
+// NewShardSet returns a registry for n shards (n >= 1).
+func NewShardSet(n int) *ShardSet {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardSet{n: n, owner: make(map[*Resource]int)}
+}
+
+// N returns the shard count.
+func (s *ShardSet) N() int { return s.n }
+
+// Assign records that shard owns r. Assigning the same resource to two
+// different shards is a partitioning bug and returns an error.
+func (s *ShardSet) Assign(r *Resource, shard int) error {
+	if shard < 0 || shard >= s.n {
+		return fmt.Errorf("sim: shard %d out of range [0,%d)", shard, s.n)
+	}
+	if prev, ok := s.owner[r]; ok && prev != shard {
+		return fmt.Errorf("sim: resource %q assigned to shards %d and %d", r.Name(), prev, shard)
+	}
+	s.owner[r] = shard
+	return nil
+}
+
+// Owner reports which shard owns r.
+func (s *ShardSet) Owner(r *Resource) (int, bool) {
+	shard, ok := s.owner[r]
+	return shard, ok
+}
+
+// Fence is a reusable happens-before token between shards. Producers are
+// armed up front; each Resolve publishes a completion time and releases one
+// producer slot; Wait blocks until all producers resolved and returns the
+// maximum published time. The max is order-independent, so the value a
+// consumer observes is identical no matter how the producing shards
+// interleave — the property the deterministic completion merge relies on.
+//
+// A Fence may be reused after a Wait/Arm cycle; it must not be re-armed
+// while a Wait is outstanding.
+type Fence struct {
+	wg  sync.WaitGroup
+	max atomic.Int64
+}
+
+// Arm prepares the fence for producers resolves and resets the published
+// time to floor. It must happen-before any Resolve or Wait.
+func (f *Fence) Arm(producers int, floor Time) {
+	f.max.Store(int64(floor))
+	f.wg.Add(producers)
+}
+
+// Resolve publishes one producer's completion time (atomic max) and
+// releases its slot.
+func (f *Fence) Resolve(t Time) {
+	for {
+		cur := f.max.Load()
+		if int64(t) <= cur || f.max.CompareAndSwap(cur, int64(t)) {
+			break
+		}
+	}
+	f.wg.Done()
+}
+
+// Wait blocks until every armed producer resolved, then returns the
+// maximum published time.
+func (f *Fence) Wait() Time {
+	f.wg.Wait()
+	return Time(f.max.Load())
+}

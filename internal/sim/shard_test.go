@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardSetAssign(t *testing.T) {
+	s := NewShardSet(2)
+	if s.N() != 2 {
+		t.Fatalf("N() = %d, want 2", s.N())
+	}
+	r := NewResource("chip0")
+	if err := s.Assign(r, 0); err != nil {
+		t.Fatalf("first assign: %v", err)
+	}
+	if err := s.Assign(r, 0); err != nil {
+		t.Fatalf("idempotent re-assign: %v", err)
+	}
+	if err := s.Assign(r, 1); err == nil {
+		t.Fatal("conflicting re-assign succeeded, want error")
+	}
+	if err := s.Assign(NewResource("x"), 2); err == nil {
+		t.Fatal("out-of-range shard accepted, want error")
+	}
+	if err := s.Assign(NewResource("x"), -1); err == nil {
+		t.Fatal("negative shard accepted, want error")
+	}
+	if shard, ok := s.Owner(r); !ok || shard != 0 {
+		t.Fatalf("Owner = (%d, %v), want (0, true)", shard, ok)
+	}
+	if _, ok := s.Owner(NewResource("unassigned")); ok {
+		t.Fatal("Owner reported an unassigned resource")
+	}
+}
+
+func TestShardSetClampsToOne(t *testing.T) {
+	if n := NewShardSet(0).N(); n != 1 {
+		t.Fatalf("NewShardSet(0).N() = %d, want 1", n)
+	}
+}
+
+// TestFenceMaxIsOrderIndependent arms a fence with concurrent producers and
+// checks Wait returns the maximum published time — the property that makes
+// the cross-shard happens-before value identical to the sequential one no
+// matter how the producing shards interleave.
+func TestFenceMaxIsOrderIndependent(t *testing.T) {
+	times := []Time{700, 100, 500, 900, 300}
+	for round := 0; round < 50; round++ {
+		var f Fence
+		f.Arm(len(times), 50)
+		var wg sync.WaitGroup
+		for _, tm := range times {
+			tm := tm
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f.Resolve(tm)
+			}()
+		}
+		if got := f.Wait(); got != 900 {
+			t.Fatalf("round %d: Wait() = %d, want 900", round, got)
+		}
+		wg.Wait()
+	}
+}
+
+// TestFenceFloor checks the armed floor wins when every producer resolves
+// earlier: a data read never starts before its own submission instant.
+func TestFenceFloor(t *testing.T) {
+	var f Fence
+	f.Arm(2, 1000)
+	f.Resolve(10)
+	f.Resolve(20)
+	if got := f.Wait(); got != 1000 {
+		t.Fatalf("Wait() = %d, want floor 1000", got)
+	}
+	// Reuse after a full Arm/Resolve/Wait cycle.
+	f.Arm(1, 0)
+	f.Resolve(77)
+	if got := f.Wait(); got != 77 {
+		t.Fatalf("reused Wait() = %d, want 77", got)
+	}
+}

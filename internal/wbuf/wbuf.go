@@ -103,6 +103,11 @@ type Manager struct {
 	cap   int64 // sectors per buffer (one superpage)
 	stats Stats
 
+	// occupied counts buffers currently holding payloads, so the read path
+	// can skip the per-zone probe entirely while every buffer is empty —
+	// the steady state of a read-only workload.
+	occupied int
+
 	// Flush recycling (see the package doc's lifetime contract): lent holds
 	// flushes handed to the caller since the last mutating call; reclaim
 	// moves them — container capacity and all — onto freeFlush for reuse.
@@ -191,6 +196,9 @@ func (m *Manager) drain(i int, why Reason) *Flush {
 		f = &Flush{}
 	}
 	f.Zone, f.StartLBA, f.Reason = b.zone, b.startLBA, why
+	if len(b.payloads) > 0 {
+		m.occupied--
+	}
 	// Swap containers: the flush takes the buffered run; the buffer takes
 	// the recycled flush's empty container for the next run.
 	f.Payloads, b.payloads = b.payloads, f.Payloads[:0]
@@ -239,6 +247,9 @@ func (m *Manager) Append(zone int, lba int64, payloads [][]byte) ([]*Flush, erro
 	out := m.outFlush[:0]
 	for _, p := range payloads {
 		b.payloads = append(b.payloads, p)
+		if len(b.payloads) == 1 {
+			m.occupied++
+		}
 		m.stats.Appended++
 		if int64(len(b.payloads)) >= m.cap {
 			m.stats.FullDrain++
@@ -291,6 +302,7 @@ func (m *Manager) Restore(zone int, startLBA int64, payloads [][]byte) error {
 		b.zone = zone
 		b.startLBA = startLBA
 		b.payloads = append(b.payloads, payloads...)
+		m.occupied++
 	case b.zone == zone && b.startLBA == startLBA+n:
 		// The restored run ends where the buffered run begins: prepend.
 		old := int64(len(b.payloads))
@@ -331,6 +343,9 @@ func (m *Manager) TrimFrom(zone int, lba int64) int64 {
 	if keep == 0 {
 		b.zone = -1
 		b.startLBA = 0
+		if dropped > 0 {
+			m.occupied--
+		}
 	}
 	m.stats.Trimmed += dropped
 	return dropped
@@ -396,6 +411,9 @@ func (m *Manager) BufferedSectors() int64 {
 // at lba if it is currently buffered for the zone. The second result is
 // false when the sector is not in the buffer.
 func (m *Manager) ReadSector(zone int, lba int64) ([]byte, bool) {
+	if m.occupied == 0 {
+		return nil, false
+	}
 	start, n := m.Buffered(zone)
 	if n == 0 || lba < start || lba >= start+n {
 		return nil, false

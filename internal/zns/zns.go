@@ -10,6 +10,7 @@ package zns
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // State is the condition of a zone, following the NVMe ZNS state machine.
@@ -113,6 +114,13 @@ type Manager struct {
 	zoneCap   int64 // sectors
 	maxOpen   int
 	maxActive int
+
+	// Translation fast path, derived once at construction: the namespace
+	// size, and a shift replacing ZoneOf's division when the zone size is
+	// a power of two.
+	total  int64
+	zShift uint
+	zPow2  bool
 }
 
 // Config sizes a manager. MaxOpen/MaxActive of 0 mean "no limit".
@@ -148,6 +156,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("zns: Conventional %d out of [0,%d]", cfg.Conventional, cfg.NumZones)
 	}
 	m := &Manager{zoneSize: cfg.ZoneSize, zoneCap: cfg.ZoneCapacity, maxOpen: cfg.MaxOpen, maxActive: cfg.MaxActive}
+	m.total = int64(cfg.NumZones) * cfg.ZoneSize
+	if cfg.ZoneSize&(cfg.ZoneSize-1) == 0 {
+		m.zPow2 = true
+		m.zShift = uint(bits.TrailingZeros64(uint64(cfg.ZoneSize)))
+	}
 	for i := 0; i < cfg.NumZones; i++ {
 		start := int64(i) * cfg.ZoneSize
 		t := SequentialWriteRequired
@@ -172,12 +185,15 @@ func (m *Manager) ZoneSize() int64 { return m.zoneSize }
 func (m *Manager) ZoneCapacity() int64 { return m.zoneCap }
 
 // TotalLBAs returns the namespace size in sectors.
-func (m *Manager) TotalLBAs() int64 { return int64(len(m.zones)) * m.zoneSize }
+func (m *Manager) TotalLBAs() int64 { return m.total }
 
 // ZoneOf maps an LBA to its zone id, or -1 when out of range.
 func (m *Manager) ZoneOf(lba int64) int {
-	if lba < 0 || lba >= m.TotalLBAs() {
+	if lba < 0 || lba >= m.total {
 		return -1
+	}
+	if m.zPow2 {
+		return int(lba >> m.zShift)
 	}
 	return int(lba / m.zoneSize)
 }

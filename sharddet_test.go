@@ -1,0 +1,295 @@
+package conzone
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/ftl"
+	"github.com/conzone/conzone/internal/host"
+	"github.com/conzone/conzone/internal/nand"
+	"github.com/conzone/conzone/internal/obs"
+	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/units"
+)
+
+// shardTrace captures everything observable about one workload run: the
+// completion stream in poll order (every field, including read payload
+// bytes), a full media read-back, the FTL and NAND counter snapshots, and
+// the telemetry recorder's fingerprint. Two runs are "bit-identical" in the
+// sense the sharded executor promises exactly when their shardTraces match.
+type shardTrace struct {
+	completions [32]byte // sha256 over the ordered completion stream
+	media       [32]byte // sha256 over a full device read-back
+	stats       ftl.Stats
+	counters    nand.Counters
+	telemetry   [32]byte // obs.Recorder fingerprint
+	polled      int
+}
+
+// shardWorkload drives a seeded mix designed to stress every path the
+// sharded read executor takes: long back-to-back read bursts (well past the
+// parallel threshold of 32 jobs, so the worker goroutines really run),
+// multi-sector reads spanning page runs, reads served from the write buffer
+// and the L2P cache, reads of unwritten sectors, plus the write-class fences
+// (writes, flushes, resets) that force drains between bursts.
+func shardWorkload(t *testing.T, shards, gmp int) shardTrace {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(gmp) // before ftl.New: the FTL caches this
+	defer runtime.GOMAXPROCS(prev)
+
+	cfg := config.Small()
+	cfg.FTL.Shards = shards
+	f, err := ftl.New(cfg.Geometry, cfg.Latency, cfg.FTL)
+	if err != nil {
+		t.Fatalf("shards=%d: build FTL: %v", shards, err)
+	}
+	f.SetRecorder(obs.NewRecorder(4096))
+	ctrl, err := host.New(f, host.Config{Queues: 1, Depth: 96})
+	if err != nil {
+		t.Fatalf("shards=%d: build controller: %v", shards, err)
+	}
+
+	var tr shardTrace
+	h := sha256.New()
+	var word [8]byte
+	hashInt := func(v int64) {
+		binary.LittleEndian.PutUint64(word[:], uint64(v))
+		h.Write(word[:])
+	}
+	hashCompletion := func(c *host.Completion) {
+		tr.polled++
+		hashInt(int64(c.Tag))
+		hashInt(int64(c.Queue))
+		hashInt(int64(c.Op))
+		hashInt(int64(c.Zone))
+		hashInt(c.LBA)
+		hashInt(c.N)
+		hashInt(int64(c.Submitted))
+		hashInt(int64(c.Dispatched))
+		hashInt(int64(c.Done))
+		hashInt(int64(c.Status))
+		if c.Err != nil {
+			h.Write([]byte(c.Err.Error()))
+		}
+		for _, sec := range c.Data {
+			if sec == nil {
+				h.Write([]byte{0xEE}) // unwritten marker
+				continue
+			}
+			h.Write(sec)
+		}
+	}
+
+	var now sim.Time
+	inflight := 0
+	drainAll := func() {
+		for inflight > 0 {
+			comps := ctrl.Poll(0, inflight)
+			if len(comps) == 0 {
+				t.Fatalf("shards=%d: no completion with %d in flight", shards, inflight)
+			}
+			for i := range comps {
+				c := &comps[i]
+				if c.Err != nil {
+					t.Fatalf("shards=%d: %v lba %d: %v", shards, c.Op, c.LBA, c.Err)
+				}
+				if c.Done > now {
+					now = c.Done
+				}
+				hashCompletion(c)
+				inflight--
+			}
+		}
+	}
+	submit := func(req host.Request) {
+		if _, err := ctrl.Submit(now, 0, req); err != nil {
+			t.Fatalf("shards=%d: submit %v lba %d: %v", shards, req.Op, req.LBA, err)
+		}
+		inflight++
+		now = now.Add(sim.Duration(1000))
+	}
+
+	zoneCap := f.ZoneCapSectors()
+	sbCap := f.Geometry().SuperblockBytes() / units.Sector
+	numZones := f.NumZones()
+	rng := rand.New(rand.NewSource(0xD15C))
+	payload := func(lba int64) [][]byte {
+		s := make([]byte, units.Sector)
+		binary.LittleEndian.PutUint64(s, uint64(lba)^0xA5A5A5A5)
+		s[len(s)-1] = byte(lba >> 3)
+		return [][]byte{s}
+	}
+
+	// Phase 1: seed three zones with data — partially, so reads will mix
+	// mapped sectors, write-buffered sectors and unwritten tails.
+	written := make([]int64, numZones)
+	for z := 0; z < 3 && z < numZones; z++ {
+		n := sbCap/2 + int64(z)*7
+		for off := int64(0); off < n; off++ {
+			if inflight >= 64 {
+				drainAll()
+			}
+			lba := int64(z)*zoneCap + off
+			submit(host.Request{Op: host.OpWrite, LBA: lba, Payloads: payload(lba)})
+		}
+		written[z] = n
+		drainAll()
+	}
+	submit(host.Request{Op: host.OpFlush, Zone: -1})
+	drainAll()
+
+	// Phase 2: alternating read bursts and write-class fences. Each burst
+	// submits 48 reads back to back — no polls in between — so the host
+	// stages them and the drain crosses the parallel threshold.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 48; i++ {
+			z := rng.Intn(3)
+			span := written[z] + 16 // overhang into unwritten space sometimes
+			lba := int64(z)*zoneCap + rng.Int63n(span)
+			n := int64(1)
+			if i%5 == 0 {
+				n = 4 + rng.Int63n(5) // multi-sector: page-run batching
+				if rem := int64(z+1)*zoneCap - lba; n > rem {
+					n = rem
+				}
+			}
+			submit(host.Request{Op: host.OpRead, LBA: lba, N: n})
+		}
+		drainAll()
+
+		// Fence with write-class traffic; leave some of it buffered so the
+		// next burst hits the write buffer.
+		z := rng.Intn(3)
+		if written[z] >= sbCap-8 {
+			submit(host.Request{Op: host.OpReset, Zone: z})
+			written[z] = 0
+		}
+		for k := 0; k < 3; k++ {
+			lba := int64(z)*zoneCap + written[z]
+			submit(host.Request{Op: host.OpWrite, LBA: lba, Payloads: payload(lba)})
+			written[z]++
+		}
+		if round%2 == 1 {
+			submit(host.Request{Op: host.OpFlush, Zone: z})
+		}
+		drainAll()
+	}
+
+	// Phase 3: one final un-polled burst left staged, then a flush-all —
+	// the drain-on-write-class fence path — and a full drain.
+	for i := 0; i < 40; i++ {
+		z := rng.Intn(3)
+		lba := int64(z)*zoneCap + rng.Int63n(written[z]+1)
+		submit(host.Request{Op: host.OpRead, LBA: lba, N: 1})
+	}
+	submit(host.Request{Op: host.OpFlush, Zone: -1})
+	drainAll()
+	h.Sum(tr.completions[:0])
+
+	// Full media read-back, zone by zone, through the sequential path's own
+	// completion machinery (reads after a flush with nothing staged).
+	h.Reset()
+	for z := 0; z < 3 && z < numZones; z++ {
+		for off := int64(0); off < sbCap; off += 8 {
+			n := int64(8)
+			if sbCap-off < n {
+				n = sbCap - off
+			}
+			submit(host.Request{Op: host.OpRead, LBA: int64(z)*zoneCap + off, N: n})
+			for inflight > 0 {
+				comps := ctrl.Poll(0, inflight)
+				for i := range comps {
+					c := &comps[i]
+					if c.Err != nil {
+						t.Fatalf("shards=%d: read-back lba %d: %v", shards, c.LBA, c.Err)
+					}
+					for _, sec := range c.Data {
+						if sec == nil {
+							h.Write([]byte{0xEE})
+							continue
+						}
+						h.Write(sec)
+					}
+					inflight--
+				}
+			}
+		}
+	}
+	h.Sum(tr.media[:0])
+
+	tr.stats = f.Stats()
+	tr.counters = f.Array().Counters()
+	tr.telemetry = f.Recorder().Fingerprint()
+	return tr
+}
+
+// TestShardDeterminism pins the tentpole invariant: channel-sharded read
+// execution is bit-identical to the sequential path — same completion
+// stream, same media contents, same counters, same telemetry — for every
+// shard count and every GOMAXPROCS. The baseline is Shards=1 (sharding
+// compiled out) at GOMAXPROCS=1; every variant must match it exactly.
+func TestShardDeterminism(t *testing.T) {
+	base := shardWorkload(t, 1, 1)
+	if base.polled == 0 {
+		t.Fatal("baseline run polled no completions")
+	}
+
+	variants := []struct {
+		shards, gmp int
+	}{
+		{1, runtime.NumCPU()}, // sequential path must ignore GOMAXPROCS too
+		{0, 1},                // auto shards, single proc: inline fallback
+		{0, 4},
+		{0, runtime.NumCPU()},
+		{8, runtime.NumCPU()}, // over-ask: clamps to channel count
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(fmt.Sprintf("shards=%d/gomaxprocs=%d", v.shards, v.gmp), func(t *testing.T) {
+			got := shardWorkload(t, v.shards, v.gmp)
+			if got.completions != base.completions {
+				t.Errorf("completion stream diverged from sequential baseline (%d vs %d completions)", got.polled, base.polled)
+			}
+			if got.media != base.media {
+				t.Error("media read-back diverged from sequential baseline")
+			}
+			if got.stats != base.stats {
+				t.Errorf("FTL stats diverged:\n got %+v\nwant %+v", got.stats, base.stats)
+			}
+			if got.counters != base.counters {
+				t.Errorf("NAND counters diverged:\n got %+v\nwant %+v", got.counters, base.counters)
+			}
+			if got.telemetry != base.telemetry {
+				t.Error("telemetry fingerprint diverged from sequential baseline")
+			}
+		})
+	}
+}
+
+// TestShardAutoConfig pins the Params.Shards knob semantics: 0 selects one
+// shard per channel, 1 disables sharding entirely, and explicit counts are
+// clamped to the channel count.
+func TestShardAutoConfig(t *testing.T) {
+	cfg := config.Small()
+	channels := cfg.Geometry.Channels
+
+	for _, tc := range []struct {
+		shards, want int
+	}{
+		{0, channels}, {1, 0}, {2, 2}, {64, channels},
+	} {
+		cfg.FTL.Shards = tc.shards
+		f, err := ftl.New(cfg.Geometry, cfg.Latency, cfg.FTL)
+		if err != nil {
+			t.Fatalf("Shards=%d: %v", tc.shards, err)
+		}
+		if got := f.ReadShards(); got != tc.want {
+			t.Errorf("Shards=%d: ReadShards() = %d, want %d", tc.shards, got, tc.want)
+		}
+	}
+}
