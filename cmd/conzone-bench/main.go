@@ -50,6 +50,7 @@ func main() {
 	faults := flag.Bool("faults", false, "benchmark with the NAND fault model enabled and report fault/recovery statistics")
 	faultSeed := flag.Uint64("fault-seed", 1, "with -faults: fault model RNG seed")
 	crash := flag.Bool("crash", false, "run the crash-remount differential fuzzer (power cut at a seeded instant, remount, verify durability)")
+	zonelife := flag.Bool("zonelife", false, "characterize zone management: finish-latency-vs-fullness curve and reset/read interference (self-checking)")
 	crashSeeds := flag.Int("crash-seeds", 8, "with -crash: how many seeds to run")
 	crashOps := flag.Int("crash-ops", 600, "with -crash: ops per generated sequence")
 	timeseries := flag.Bool("timeseries", false, "sample a sustained random-write workload on the virtual clock and print the WAF/GC series")
@@ -157,6 +158,12 @@ func main() {
 	}
 	if *faults {
 		if err := runFaults(cfg, *faultSeed, *quick); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *zonelife {
+		if err := runZoneLife(cfg, *quick); err != nil {
 			fatal(err)
 		}
 		return

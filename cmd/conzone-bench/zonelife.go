@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/conzone/conzone/internal/config"
+	"github.com/conzone/conzone/internal/ftl"
+	"github.com/conzone/conzone/internal/sim"
+)
+
+// runZoneLife characterizes zone-management cost: the finish-latency-vs-
+// fullness curve (an emptier zone pads more capacity, so finishing it takes
+// longer) and read interference from a concurrent zone reset on shared
+// chips. Both are self-checking: the curve must decrease monotonically with
+// an empty zone strictly slower than a 90%-full one, and the reset must not
+// make the concurrent read faster.
+func runZoneLife(cfg config.DeviceConfig, quick bool) error {
+	fills := []float64{0, 0.25, 0.5, 0.75, 0.9}
+	if quick {
+		fills = []float64{0, 0.5, 0.9}
+	}
+
+	header("Zone lifecycle: finish latency vs zone fullness")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "fill\twritten\tpad sectors\tfinish latency")
+	lats := make([]sim.Time, len(fills))
+	for i, fill := range fills {
+		f, err := cfg.NewConZone()
+		if err != nil {
+			return err
+		}
+		zc := f.ZoneCapSectors()
+		n := int64(fill * float64(zc))
+		var at sim.Time
+		if n > 0 {
+			// Nil payload views write as zeros; the bench only needs the
+			// write pointer moved and the media charged.
+			done, err := f.Write(0, 0, make([][]byte, n))
+			if err != nil {
+				return err
+			}
+			if done, err = f.Flush(done, 0); err != nil {
+				return err
+			}
+			at = done
+			// Quiesce: buffer evictions the write already triggered may
+			// still occupy chips past the flush ack; measure the finish
+			// from the media completion watermark so the curve shows pad
+			// cost, not queueing behind the fill traffic.
+			if n := f.Array().Engine().Now(); n > at {
+				at = n
+			}
+		}
+		done, err := f.FinishZone(at, 0)
+		if err != nil {
+			return err
+		}
+		lats[i] = done - at
+		fmt.Fprintf(w, "%3.0f%%\t%d\t%d\t%s\n", fill*100, n, f.Stats().PadSectors, fmtDur(lats[i]))
+	}
+	w.Flush()
+	for i := 1; i < len(lats); i++ {
+		if lats[i] >= lats[i-1] {
+			return fmt.Errorf("zonelife: finish latency not strictly decreasing with fullness (%d%% -> %v, %d%% -> %v)",
+				int(fills[i-1]*100), lats[i-1], int(fills[i]*100), lats[i])
+		}
+	}
+	fmt.Println("\nfinish latency decreases monotonically with fullness; empty is the worst case")
+
+	header("Zone lifecycle: read interference from a concurrent reset")
+	const readSectors = 256
+	prep := func() (*ftl.FTL, sim.Time, error) {
+		f, err := cfg.NewConZone()
+		if err != nil {
+			return nil, 0, err
+		}
+		zc := f.ZoneCapSectors()
+		var at sim.Time
+		for _, zone := range []int{0, 1} {
+			done, err := f.Write(at, int64(zone)*zc, make([][]byte, readSectors))
+			if err != nil {
+				return nil, 0, err
+			}
+			if done, err = f.Flush(done, zone); err != nil {
+				return nil, 0, err
+			}
+			if done > at {
+				at = done
+			}
+		}
+		if n := f.Array().Engine().Now(); n > at {
+			at = n
+		}
+		return f, at, nil
+	}
+
+	f, at, err := prep()
+	if err != nil {
+		return err
+	}
+	_, done, err := f.Read(at, 0, readSectors)
+	if err != nil {
+		return err
+	}
+	idle := done - at
+
+	f, at, err = prep()
+	if err != nil {
+		return err
+	}
+	if _, err := f.ResetZone(at, 1); err != nil {
+		return err
+	}
+	_, done, err = f.Read(at, 0, readSectors)
+	if err != nil {
+		return err
+	}
+	busy := done - at
+
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tread latency (256 sectors)")
+	fmt.Fprintf(w, "idle device\t%s\n", fmtDur(idle))
+	fmt.Fprintf(w, "zone reset in flight\t%s\n", fmtDur(busy))
+	w.Flush()
+	if busy < idle {
+		return fmt.Errorf("zonelife: read got faster under a concurrent reset (%v < %v)", busy, idle)
+	}
+	fmt.Printf("\nreset interference: %.2fx the idle read latency (shared chips serialize erase and read)\n",
+		float64(busy)/float64(idle))
+	return nil
+}
+
+// fmtDur renders virtual nanoseconds human-readably.
+func fmtDur(t sim.Time) string {
+	switch {
+	case t >= 1e6:
+		return fmt.Sprintf("%.3f ms", float64(t)/1e6)
+	case t >= 1e3:
+		return fmt.Sprintf("%.3f us", float64(t)/1e3)
+	}
+	return fmt.Sprintf("%d ns", int64(t))
+}

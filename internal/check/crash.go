@@ -221,10 +221,15 @@ func (r *crashRun) step(op Op) error {
 		}
 		done, err := r.f.FinishZone(r.now, zone)
 		if err != nil {
+			// A torn pad-out leaves zeros in [WP, WP+landed): version 0,
+			// which every unwritten sector's acceptable set already holds.
 			return err
 		}
 		r.observe(done)
 		r.barrier(zone)
+		// The finish padded the zone to capacity on media; the pads read
+		// back as zeros (version 0, the default acceptable version).
+		r.wp[zone] = r.zcap
 		r.full[zone] = true
 		return nil
 	case OpClose:

@@ -14,6 +14,10 @@ func FuzzDeviceOpsCrash(f *testing.F) {
 	f.Add(uint64(0xDEADBEEF), uint16(333))
 	f.Add(uint64(42), uint16(640))
 	f.Add(uint64(0xB00), uint16(97))
+	// Finish-heavy sequences whose cut fires: they exercise the pad-out and
+	// the torn-finish recovery window.
+	f.Add(uint64(0xF1A6), uint16(300))
+	f.Add(uint64(0xF1A9), uint16(300))
 	f.Fuzz(func(t *testing.T, seed uint64, n uint16) {
 		nOps := int(n)%1024 + 16
 		if _, err := RunCrashSequence(seed, nOps, 32, false); err != nil {
@@ -40,7 +44,9 @@ func FuzzDeviceOpsCrashFaults(f *testing.F) {
 // pass in both fault modes, and the corpus as a whole must actually exercise
 // the crash path (at least one cut fires) or it has gone stale.
 func TestCrashFuzzSeeds(t *testing.T) {
-	seeds := []uint64{1, 2, 3, 42, 0x5EED, 0xC4A54, 0xDEADBEEF, 0xA11CE}
+	// 0xF1A6 and 0xF1A9 are finish-heavy (12 finishes each at 300 ops) and
+	// fire their cut in both fault modes, covering the pad-out windows.
+	seeds := []uint64{1, 2, 3, 42, 0x5EED, 0xC4A54, 0xDEADBEEF, 0xA11CE, 0xF1A6, 0xF1A9}
 	crashes := 0
 	for _, seed := range seeds {
 		for _, withFaults := range []bool{false, true} {

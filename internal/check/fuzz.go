@@ -436,6 +436,9 @@ func (r *replayer) step(op Op) error {
 			return err
 		}
 		r.observe(done)
+		// The finish pads the zone to capacity; the pads read back as
+		// zeros, matching the oracle's version 0 for unwritten sectors.
+		r.wp[zone] = r.zd.ZoneCapSectors()
 		r.full[zone] = true
 		return nil
 	case OpClose:

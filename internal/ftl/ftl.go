@@ -161,6 +161,8 @@ type Stats struct {
 	MapFetches       int64 // L2P entry fetches from flash
 	MapFetchReads    int64 // flash reads those fetches needed (≥ MapFetches)
 	ZoneResets       int64
+	ZoneFinishes     int64 // zone finish commands that committed (pad-out included)
+	PadSectors       int64 // zero-fill sectors programmed by finish pad-outs (WAF overhead, not host data)
 	ResetDiscards    int64 // buffered sectors a zone reset threw away unflushed
 	TailSectors      int64 // alignment-tail sectors written to reserved SLC
 	BufferReads      int64 // read sectors served from the volatile write buffer
@@ -192,6 +194,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		MapFetches:       s.MapFetches - prev.MapFetches,
 		MapFetchReads:    s.MapFetchReads - prev.MapFetchReads,
 		ZoneResets:       s.ZoneResets - prev.ZoneResets,
+		ZoneFinishes:     s.ZoneFinishes - prev.ZoneFinishes,
+		PadSectors:       s.PadSectors - prev.PadSectors,
 		ResetDiscards:    s.ResetDiscards - prev.ResetDiscards,
 		TailSectors:      s.TailSectors - prev.TailSectors,
 		BufferReads:      s.BufferReads - prev.BufferReads,
@@ -307,6 +311,7 @@ type FTL struct {
 	combineIdx []int64     // combine: pending staged indices
 	combineBuf [][]byte    // combine: merged program-unit sector views
 	readRuns   []pageRun   // ReadInto: per-page media read batching
+	padScratch [][]byte    // FinishZone: all-nil payload views for pad-out
 
 	l2pLogPending int64 // mapping updates awaiting an L2P-log flush
 	l2pLogChip    int   // round-robin chip for log programs

@@ -8,6 +8,7 @@ import (
 	"github.com/conzone/conzone/internal/nand"
 	"github.com/conzone/conzone/internal/obs"
 	"github.com/conzone/conzone/internal/sim"
+	"github.com/conzone/conzone/internal/zns"
 )
 
 // ResetZone implements the zone reset path (paper Fig. 2 E.2 and §III-D):
@@ -105,7 +106,18 @@ func (f *FTL) OpenZone(zone int) error { return f.zones.Open(zone) }
 
 // CloseZone closes a zone, draining its write buffer first so the buffer
 // becomes available to other zones (a closed zone keeps no buffer).
+// Validation runs before the drain: a rejected close — and any management
+// command against a dead or degraded device — charges no media time.
 func (f *FTL) CloseZone(at sim.Time, zone int) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
+	if err := f.checkWritable(); err != nil {
+		return at, err
+	}
+	if err := f.zones.CanClose(zone); err != nil {
+		return at, err
+	}
 	done, err := f.Flush(at, zone)
 	if err != nil {
 		return at, err
@@ -116,17 +128,101 @@ func (f *FTL) CloseZone(at sim.Time, zone int) (sim.Time, error) {
 	return done, nil
 }
 
-// FinishZone transitions a zone to FULL, draining its buffer. Unwritten
-// logical sectors simply read back as zeros.
+// FinishZone transitions a zone to FULL, charging what a real device
+// charges: after the buffer drain, the unwritten remainder of the zone is
+// padded out with zero-fill program operations through the regular flush
+// path (direct program units, SLC-staged partials and combines, alignment
+// tail), so finish latency scales with the zone's unfilled capacity and the
+// write pointer lands at capacity *on media*. That makes Finish durable
+// across remount by construction — the recovery scan sees a fully
+// programmed zone — with a MetaZoneFinish journal record closing the
+// torn-finish window. Pad sectors count as PadSectors (WAF overhead), never
+// as host-written bytes.
+//
+// Validation runs first: a rejected finish, or one against a dead or
+// degraded device, charges no media time. Finishing an already-Full zone is
+// an idempotent no-op.
 func (f *FTL) FinishZone(at sim.Time, zone int) (sim.Time, error) {
+	if err := f.checkPower(at); err != nil {
+		return at, err
+	}
+	if err := f.checkWritable(); err != nil {
+		return at, err
+	}
+	if err := f.zones.CanFinish(zone); err != nil {
+		return at, err
+	}
+	z, err := f.zones.Zone(zone)
+	if err != nil {
+		return at, err
+	}
+	if z.State == zns.Full {
+		return at, nil
+	}
 	done, err := f.Flush(at, zone)
 	if err != nil {
 		return at, err
 	}
+	pad := z.Start + z.Capacity - z.WP
+	if pad > 0 {
+		// Pad with nil payload views: the sectors program (and charge, and
+		// wear) like data but read back as zeros, exactly what the host sees
+		// beyond a finished zone's old write pointer. The pad is issued one
+		// program unit at a time, each chunk starting when the previous one
+		// completed — consumer firmware pads at queue depth 1 — so finish
+		// latency scales with the unfilled capacity instead of collapsing to
+		// a single program wave on the busiest chip.
+		var landed int64
+		off := z.WP - z.Start
+		for landed < pad {
+			step := f.puSectors - off%f.puSectors
+			if rem := pad - landed; step > rem {
+				step = rem
+			}
+			_, d, n, err := f.flushRun(done, zone, z.Start+off, f.padRun(step), obs.CauseFinishPad)
+			landed += n
+			if err != nil {
+				// Keep the zone table consistent with media: the landed pad
+				// prefix is mapped, so the write pointer must cover it (the
+				// same contract as a failed write's landed prefix). The
+				// finish itself fails without acknowledgment.
+				if landed > 0 {
+					if cerr := f.zones.CommitWrite(z.WP, landed); cerr != nil {
+						return at, fmt.Errorf("ftl: finish pad-out of zone %d: %w (committing landed prefix: %v)",
+							zone, err, cerr)
+					}
+				}
+				return at, fmt.Errorf("ftl: finish pad-out of zone %d: %w", zone, err)
+			}
+			off += step
+			if d > done {
+				done = d
+			}
+		}
+	}
 	if err := f.zones.Finish(zone); err != nil {
 		return at, err
 	}
+	f.stats.ZoneFinishes++
+	f.stats.PadSectors += pad
+	// Journal the completed finish. The record lands only after every pad
+	// program did, so a torn pad-out leaves no record and the zone legally
+	// recovers Closed at the pad's landed prefix — the finish was never
+	// acknowledged.
+	f.arr.MetaAppend(nand.MetaRecord{Kind: nand.MetaZoneFinish, Zone: zone, Seq: f.arr.NextSeq()})
+	f.arr.Engine().Observe(done)
+	f.record(obs.StageZoneFinish, obs.CauseHostFlush, at, done, zone, z.WP, pad)
 	return done, nil
+}
+
+// padRun returns n all-nil payload views from reused scratch. flushRun and
+// everything below it treat the views as read-only, so one zero-value slice
+// serves every finish.
+func (f *FTL) padRun(n int64) [][]byte {
+	if int64(cap(f.padScratch)) < n {
+		f.padScratch = make([][]byte, n)
+	}
+	return f.padScratch[:n]
 }
 
 // WearReport summarises block wear: erase counts per normal superblock

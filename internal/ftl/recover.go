@@ -89,8 +89,9 @@ func (f *FTL) recover(at sim.Time) (sim.Time, error) {
 	done := at
 	chips := f.geo.Chips()
 
-	// --- 1. Journal replay: acknowledged resets and retirements. ---
+	// --- 1. Journal replay: acknowledged resets, finishes, retirements. ---
 	resetSeq := make([]int64, f.numZones)
+	finishSeq := make([]int64, f.numZones)
 	var slcRetired []int
 	retiredSet := make(map[int]bool)
 	for _, rec := range f.arr.MetaJournal() {
@@ -98,6 +99,10 @@ func (f *FTL) recover(at sim.Time) (sim.Time, error) {
 		case nand.MetaZoneReset:
 			if rec.Zone >= 0 && rec.Zone < f.numZones && rec.Seq > resetSeq[rec.Zone] {
 				resetSeq[rec.Zone] = rec.Seq
+			}
+		case nand.MetaZoneFinish:
+			if rec.Zone >= 0 && rec.Zone < f.numZones && rec.Seq > finishSeq[rec.Zone] {
+				finishSeq[rec.Zone] = rec.Seq
 			}
 		case nand.MetaRetireSB:
 			if rec.SB >= 0 && rec.SB < f.geo.NormalBlocks() && !retiredSet[rec.SB] {
@@ -314,6 +319,16 @@ func (f *FTL) recover(at sim.Time) (sim.Time, error) {
 		}
 		if wp > 0 {
 			if err := f.zones.Restore(zone, z.Start+wp); err != nil {
+				return done, err
+			}
+		}
+		// An acknowledged finish padded the zone to capacity, so Restore
+		// normally derives Full on its own. The journal record is the
+		// belt-and-braces: if a finish postdating the last reset is on
+		// record, the host was acked and the zone must come back Full even
+		// if the media scan stopped short of capacity.
+		if finishSeq[zone] > resetSeq[zone] {
+			if err := f.zones.RestoreFull(zone); err != nil {
 				return done, err
 			}
 		}

@@ -143,6 +143,12 @@ const (
 	MetaRetireSB
 	// MetaSLCRetire: an SLC staging superblock was retired.
 	MetaSLCRetire
+	// MetaZoneFinish: a zone finish completed — every pad program landed
+	// and the host was or will be acked. The record closes the torn-finish
+	// window: recovery treats a zone with a finish record newer than its
+	// last reset as Full even if the pad extent were ever to disagree with
+	// the media scan.
+	MetaZoneFinish
 )
 
 // String names the record kind.
@@ -154,6 +160,8 @@ func (k MetaKind) String() string {
 		return "retire_sb"
 	case MetaSLCRetire:
 		return "slc_retire"
+	case MetaZoneFinish:
+		return "zone_finish"
 	}
 	return "meta_unknown"
 }
@@ -165,12 +173,12 @@ func (k MetaKind) String() string {
 // describes state the cut tore away.
 type MetaRecord struct {
 	Kind  MetaKind
-	Zone  int   // MetaZoneReset: the zone
+	Zone  int   // MetaZoneReset/MetaZoneFinish: the zone
 	SB    int   // MetaRetireSB/MetaSLCRetire: the superblock
 	Chip  int   // MetaRetireSB: failing chip of the bad-block record
 	Block int   // MetaRetireSB: failing absolute block of the record
 	Op    int   // MetaRetireSB: fault.Op of the failure, stored as an int
-	Seq   int64 // MetaZoneReset: program-order position of the reset
+	Seq   int64 // MetaZoneReset/MetaZoneFinish: program-order position
 }
 
 // MetaAppend appends one journal record. Like the L2P map region (§III-E),

@@ -84,6 +84,10 @@ const (
 	// failed superblock's data into a spare and retiring the old blocks.
 	// Actor is the retired superblock, N the sectors copied.
 	StageFaultRelocate
+	// StageZoneFinish spans a zone finish: the buffer drain plus the
+	// charged pad-out of the zone's unwritten remainder. LBA is the
+	// pre-finish write pointer, N the padded sectors.
+	StageZoneFinish
 
 	// NumStages bounds the per-stage aggregation arrays.
 	NumStages
@@ -111,6 +115,7 @@ var stageNames = [NumStages]string{
 	StageHostQueue:      "host_queue",
 	StageNANDReadRetry:  "nand_read_retry",
 	StageFaultRelocate:  "fault_relocate",
+	StageZoneFinish:     "zone_finish",
 }
 
 // String returns the stage's stable snake_case name, used as the metric
@@ -145,6 +150,9 @@ const (
 	CauseBitmap
 	CauseMultiple
 	CausePinned
+	// CauseFinishPad: the flush carries zero-fill pad sectors charged by a
+	// zone finish, not host data.
+	CauseFinishPad
 
 	// NumCauses bounds the per-cause aggregation arrays.
 	NumCauses
@@ -159,6 +167,7 @@ var causeNames = [NumCauses]string{
 	CauseBitmap:       "bitmap",
 	CauseMultiple:     "multiple",
 	CausePinned:       "pinned",
+	CauseFinishPad:    "finish_pad",
 }
 
 // String returns the cause's stable snake_case name ("" for CauseNone).

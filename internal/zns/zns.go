@@ -115,6 +115,12 @@ type Manager struct {
 	maxOpen   int
 	maxActive int
 
+	// Running resource counters, maintained by setState at every
+	// transition so the limit checks on the write hot path and the
+	// telemetry gauges stay O(1) instead of rescanning the zone table.
+	nOpen   int
+	nActive int
+
 	// Translation fast path, derived once at construction: the namespace
 	// size, and a shift replacing ZoneOf's division when the zone size is
 	// a power of two.
@@ -123,7 +129,11 @@ type Manager struct {
 	zPow2  bool
 }
 
-// Config sizes a manager. MaxOpen/MaxActive of 0 mean "no limit".
+// Config sizes a manager. MaxOpen/MaxActive of 0 mean "no limit", with one
+// normalization: every open zone holds active resources, so MaxOpen=0
+// combined with MaxActive>0 would promise more open zones than the device
+// can keep active. NewManager clamps the effective open limit to MaxActive
+// in that case.
 type Config struct {
 	NumZones     int
 	ZoneSize     int64 // sectors; the LBA stride between zones
@@ -155,7 +165,13 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Conventional < 0 || cfg.Conventional > cfg.NumZones {
 		return nil, fmt.Errorf("zns: Conventional %d out of [0,%d]", cfg.Conventional, cfg.NumZones)
 	}
-	m := &Manager{zoneSize: cfg.ZoneSize, zoneCap: cfg.ZoneCapacity, maxOpen: cfg.MaxOpen, maxActive: cfg.MaxActive}
+	maxOpen := cfg.MaxOpen
+	if cfg.MaxActive > 0 && maxOpen == 0 {
+		// "Unlimited open" under a finite active limit is contradictory:
+		// an open zone is an active zone. Clamp to the active limit.
+		maxOpen = cfg.MaxActive
+	}
+	m := &Manager{zoneSize: cfg.ZoneSize, zoneCap: cfg.ZoneCapacity, maxOpen: maxOpen, maxActive: cfg.MaxActive}
 	m.total = int64(cfg.NumZones) * cfg.ZoneSize
 	if cfg.ZoneSize&(cfg.ZoneSize-1) == 0 {
 		m.zPow2 = true
@@ -225,14 +241,16 @@ func (m *Manager) OpenZones() []int {
 }
 
 // OpenCount returns how many zones are currently open (telemetry gauge;
-// unlike OpenZones it does not allocate).
-func (m *Manager) OpenCount() int { return m.countOpen() }
+// O(1) from the running counters).
+func (m *Manager) OpenCount() int { return m.nOpen }
 
 // ActiveCount returns how many zones currently hold active resources
 // (open or closed).
-func (m *Manager) ActiveCount() int { return m.countActive() }
+func (m *Manager) ActiveCount() int { return m.nActive }
 
-func (m *Manager) countOpen() int {
+// scanOpen recounts open zones from the table. It exists only to verify the
+// running counters (the equivalence test); no hot path calls it.
+func (m *Manager) scanOpen() int {
 	n := 0
 	for i := range m.zones {
 		if m.zones[i].State.open() {
@@ -242,7 +260,8 @@ func (m *Manager) countOpen() int {
 	return n
 }
 
-func (m *Manager) countActive() int {
+// scanActive recounts active zones from the table; see scanOpen.
+func (m *Manager) scanActive() int {
 	n := 0
 	for i := range m.zones {
 		if m.zones[i].State.active() {
@@ -252,13 +271,33 @@ func (m *Manager) countActive() int {
 	return n
 }
 
+// setState is the single place a zone's state changes, keeping the running
+// open/active counters in lockstep with the table.
+func (m *Manager) setState(z *Zone, s State) {
+	if z.State.open() != s.open() {
+		if s.open() {
+			m.nOpen++
+		} else {
+			m.nOpen--
+		}
+	}
+	if z.State.active() != s.active() {
+		if s.active() {
+			m.nActive++
+		} else {
+			m.nActive--
+		}
+	}
+	z.State = s
+}
+
 // canTakeResources checks the open/active limits before a zone in state s
 // transitions to an open state.
 func (m *Manager) canTakeResources(s State) error {
-	if !s.open() && m.maxOpen > 0 && m.countOpen() >= m.maxOpen {
+	if !s.open() && m.maxOpen > 0 && m.nOpen >= m.maxOpen {
 		return ErrTooManyOpenZones
 	}
-	if !s.active() && m.maxActive > 0 && m.countActive() >= m.maxActive {
+	if !s.active() && m.maxActive > 0 && m.nActive >= m.maxActive {
 		return ErrTooManyActive
 	}
 	return nil
@@ -338,11 +377,11 @@ func (m *Manager) CommitWrite(lba, n int64) error {
 		return nil // no write pointer, no state transitions
 	}
 	if z.State == Empty || z.State == Closed {
-		z.State = ImplicitOpen
+		m.setState(z, ImplicitOpen)
 	}
 	z.WP += n
 	if z.WP == z.Start+z.Capacity {
-		z.State = Full
+		m.setState(z, Full)
 	}
 	return nil
 }
@@ -365,7 +404,7 @@ func (m *Manager) Open(id int) error {
 				return err
 			}
 		}
-		z.State = ExplicitOpen
+		m.setState(z, ExplicitOpen)
 		return nil
 	case Full:
 		return ErrZoneFull
@@ -374,9 +413,10 @@ func (m *Manager) Open(id int) error {
 	}
 }
 
-// Close moves an open zone to Closed (it keeps its active resources). An
-// open zone with nothing written returns to Empty, per NVMe.
-func (m *Manager) Close(id int) error {
+// CanClose validates the Close transition without changing any state, so
+// the FTL can reject a close before it spends media time draining buffers.
+// It returns nil exactly when Close would.
+func (m *Manager) CanClose(id int) error {
 	if id < 0 || id >= len(m.zones) {
 		return ErrInvalidZone
 	}
@@ -384,22 +424,34 @@ func (m *Manager) Close(id int) error {
 	if z.Type == Conventional {
 		return ErrConventional
 	}
-	if !z.State.open() {
-		if z.State == Closed {
-			return nil
-		}
+	if !z.State.open() && z.State != Closed {
 		return ErrNotOpen
-	}
-	if z.WP == z.Start {
-		z.State = Empty
-	} else {
-		z.State = Closed
 	}
 	return nil
 }
 
-// Finish forces a zone to Full regardless of the write pointer.
-func (m *Manager) Finish(id int) error {
+// Close moves an open zone to Closed (it keeps its active resources). An
+// open zone with nothing written returns to Empty, per NVMe.
+func (m *Manager) Close(id int) error {
+	if err := m.CanClose(id); err != nil {
+		return err
+	}
+	z := &m.zones[id]
+	if z.State == Closed {
+		return nil
+	}
+	if z.WP == z.Start {
+		m.setState(z, Empty)
+	} else {
+		m.setState(z, Closed)
+	}
+	return nil
+}
+
+// CanFinish validates the Finish transition without changing any state, so
+// the FTL can reject a finish before charging any pad-out media time. It
+// returns nil exactly when Finish would.
+func (m *Manager) CanFinish(id int) error {
 	if id < 0 || id >= len(m.zones) {
 		return ErrInvalidZone
 	}
@@ -413,11 +465,27 @@ func (m *Manager) Finish(id int) error {
 	case Full:
 		return nil
 	case Empty:
-		if err := m.canTakeResources(z.State); err != nil {
-			return err
-		}
+		// Padding an empty zone transiently takes its resources; refuse a
+		// finish the limits could not admit as a write.
+		return m.canTakeResources(z.State)
 	}
-	z.State = Full
+	return nil
+}
+
+// Finish forces a zone to Full. The write pointer moves to capacity: the
+// FTL pads the unwritten remainder onto media before committing the
+// transition, so a finished zone's fullness is a durable media fact, not a
+// volatile flag (it recovers as Full after a power cut).
+func (m *Manager) Finish(id int) error {
+	if err := m.CanFinish(id); err != nil {
+		return err
+	}
+	z := &m.zones[id]
+	if z.State == Full {
+		return nil
+	}
+	z.WP = z.Start + z.Capacity
+	m.setState(z, Full)
 	return nil
 }
 
@@ -436,7 +504,7 @@ func (m *Manager) Reset(id int) error {
 		return ErrZoneReadOnly
 	}
 	z.WP = z.Start
-	z.State = Empty
+	m.setState(z, Empty)
 	return nil
 }
 
@@ -445,9 +513,10 @@ func (m *Manager) Reset(id int) error {
 // Empty, at capacity Full, anywhere between Closed. Open states are never
 // restored — a power cut implicitly closes every open zone — and the
 // open/active limits are not consulted: Closed zones hold active resources
-// that the device cannot refuse to account for after a crash. A zone that
-// was Finished at a partial write pointer therefore recovers as Closed, not
-// Full; the durable facts are the written sectors, not the Finish.
+// that the device cannot refuse to account for after a crash. An
+// acknowledged Finish padded the zone to capacity on media, so it recovers
+// as Full here; only a finish torn mid-pad-out (never acknowledged) comes
+// back Closed at the pad's landed prefix.
 func (m *Manager) Restore(id int, wp int64) error {
 	if id < 0 || id >= len(m.zones) {
 		return ErrInvalidZone
@@ -462,12 +531,29 @@ func (m *Manager) Restore(id int, wp int64) error {
 	z.WP = wp
 	switch {
 	case wp == z.Start:
-		z.State = Empty
+		m.setState(z, Empty)
 	case wp == z.Start+z.Capacity:
-		z.State = Full
+		m.setState(z, Full)
 	default:
-		z.State = Closed
+		m.setState(z, Closed)
 	}
+	return nil
+}
+
+// RestoreFull marks a zone Full during mount recovery, keeping whatever
+// write pointer the media scan established. It backs the journaled-finish
+// belt-and-braces: a durable MetaZoneFinish record proves the host was
+// acknowledged, so the zone must not come back writable even if the pad
+// extent were ever to disagree.
+func (m *Manager) RestoreFull(id int) error {
+	if id < 0 || id >= len(m.zones) {
+		return ErrInvalidZone
+	}
+	z := &m.zones[id]
+	if z.Type == Conventional {
+		return ErrConventional
+	}
+	m.setState(z, Full)
 	return nil
 }
 
@@ -476,7 +562,7 @@ func (m *Manager) SetReadOnly(id int) error {
 	if id < 0 || id >= len(m.zones) {
 		return ErrInvalidZone
 	}
-	m.zones[id].State = ReadOnly
+	m.setState(&m.zones[id], ReadOnly)
 	return nil
 }
 
